@@ -1,0 +1,54 @@
+"""Extension bench: eager vs eager+PUNO vs lazy conflict detection.
+
+Section II-B motivates eager detection by energy ("conflicts are
+detected early to minimize discarded work") while acknowledging the
+lazy alternative; Section V discusses hybrid designs.  This bench puts
+the three modes side by side: lazy detection removes false aborting by
+construction — the question PUNO answers is how close eager HTM can
+get without giving up early detection.
+"""
+
+from repro.htm.lazy import LazyNodeController
+from repro.sim.config import SystemConfig
+from repro.system import System
+from repro.analysis.report import render_table
+from repro.workloads.stamp import make_stamp_workload
+
+from conftest import BENCH_SCALE, BENCH_SEED, write_result
+
+
+def _run():
+    out = {}
+    for label, cm, cfg, node_cls in [
+        ("eager", "baseline", SystemConfig(), None),
+        ("eager+puno", "puno", SystemConfig().with_puno(), None),
+        ("lazy", "baseline", SystemConfig(), LazyNodeController),
+    ]:
+        wl = make_stamp_workload("bayes", scale=BENCH_SCALE,
+                                 seed=BENCH_SEED)
+        system = System(cfg, wl, cm, node_cls=node_cls)
+        out[label] = system.run().stats
+    return out
+
+
+def test_ext_lazy(benchmark):
+    stats = benchmark.pedantic(_run, rounds=1, iterations=1)
+    base = stats["eager"]
+    rows = []
+    for label, s in stats.items():
+        rows.append({
+            "mode": label,
+            "aborts x": round(s.tx_aborted / max(base.tx_aborted, 1), 3),
+            "false-aborting GETX": s.tx_getx_false_aborting,
+            "traffic x": round(s.flit_router_traversals
+                               / base.flit_router_traversals, 3),
+            "exec x": round(s.execution_cycles / base.execution_cycles, 3),
+        })
+    text = render_table(rows, title="Extension — eager vs PUNO vs lazy "
+                                    "(bayes)")
+    write_result("ext_lazy", text)
+    # lazy cannot false-abort; all modes commit the same work
+    assert stats["lazy"].tx_getx_false_aborting == 0
+    assert stats["lazy"].tx_committed == base.tx_committed
+    assert stats["eager+puno"].tx_getx_false_aborting < \
+        base.tx_getx_false_aborting

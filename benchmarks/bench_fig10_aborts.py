@@ -1,0 +1,29 @@
+"""Fig. 10: normalized transaction aborts across the four schemes."""
+
+from repro.analysis import experiments
+from repro.workloads.stamp import HIGH_CONTENTION
+
+from conftest import write_result
+
+
+def test_fig10(benchmark, paper_sweep):
+    result = benchmark.pedantic(
+        experiments.fig10, kwargs={"sweep_result": paper_sweep},
+        rounds=1, iterations=1)
+    write_result("fig10", result.text)
+    hc = result.data["hc_average"]
+    benchmark.extra_info["hc_avg_puno"] = round(hc["puno"], 3)
+    benchmark.extra_info["hc_avg_backoff"] = round(hc["backoff"], 3)
+    benchmark.extra_info["hc_avg_rmw"] = round(hc["rmw"], 3)
+    # shape checks against the paper's Section IV-B findings:
+    # PUNO reduces aborts in the high-contention group
+    assert hc["puno"] < 1.0
+    # RMW-Pred helps the short-RMW workloads...
+    norm = result.data["normalized"]
+    assert norm["kmeans"]["rmw"] < 0.5
+    assert norm["ssca2"]["rmw"] < 0.7
+    # ...but is the weakest scheme on high-contention coarse
+    # transactions (at full scale it is a net regression; at bench
+    # scale the robust claim is the ordering)
+    assert hc["rmw"] > hc["puno"]
+    assert norm["labyrinth"]["rmw"] > norm["labyrinth"]["puno"]

@@ -1,0 +1,21 @@
+"""Fig. 11: normalized on-chip network traffic (flit router
+traversals)."""
+
+from repro.analysis import experiments
+
+from conftest import write_result
+
+
+def test_fig11(benchmark, paper_sweep):
+    result = benchmark.pedantic(
+        experiments.fig11, kwargs={"sweep_result": paper_sweep},
+        rounds=1, iterations=1)
+    write_result("fig11", result.text)
+    hc = result.data["hc_average"]
+    benchmark.extra_info["hc_avg_puno"] = round(hc["puno"], 3)
+    # PUNO reduces high-contention traffic (paper: -33%)
+    assert hc["puno"] < 1.0
+    # RMW-Pred inflates traffic where it converts read sharing into
+    # write conflicts (labyrinth is the paper's worst case)
+    norm = result.data["normalized"]
+    assert norm["labyrinth"]["rmw"] > 1.0

@@ -1,0 +1,17 @@
+"""Fig. 12: normalized directory blocked cycles while servicing
+transactional GETX."""
+
+from repro.analysis import experiments
+
+from conftest import write_result
+
+
+def test_fig12(benchmark, paper_sweep):
+    result = benchmark.pedantic(
+        experiments.fig12, kwargs={"sweep_result": paper_sweep},
+        rounds=1, iterations=1)
+    write_result("fig12", result.text)
+    hc = result.data["hc_average"]
+    benchmark.extra_info["hc_avg_puno"] = round(hc["puno"], 3)
+    # directionally bounded: PUNO must not blow up directory occupancy
+    assert hc["puno"] < 1.5

@@ -1,0 +1,19 @@
+"""Fig. 14: normalized good/discarded transaction-effort ratio."""
+
+from repro.analysis import experiments
+from repro.analysis.metrics import geomean
+from repro.workloads.stamp import HIGH_CONTENTION
+
+from conftest import write_result
+
+
+def test_fig14(benchmark, paper_sweep):
+    result = benchmark.pedantic(
+        experiments.fig14, kwargs={"sweep_result": paper_sweep},
+        rounds=1, iterations=1)
+    write_result("fig14", result.text)
+    norm = result.data["normalized"]
+    hc_gm = geomean([norm[w]["puno"] for w in HIGH_CONTENTION])
+    benchmark.extra_info["hc_geomean_puno"] = round(hc_gm, 3)
+    # PUNO improves execution efficiency where contention is high
+    assert hc_gm > 1.0

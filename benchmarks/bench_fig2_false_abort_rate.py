@@ -1,0 +1,22 @@
+"""Fig. 2: fraction of transactional GETX requests that incur false
+aborting (baseline HTM)."""
+
+from repro.analysis import experiments
+from repro.workloads.stamp import HIGH_CONTENTION
+
+from conftest import BENCH_SCALE, BENCH_SEED, write_result
+
+
+def test_fig2(benchmark):
+    result = benchmark.pedantic(
+        experiments.fig2, args=(BENCH_SCALE, BENCH_SEED),
+        rounds=1, iterations=1)
+    write_result("fig2", result.text)
+    series = result.data["series"]
+    for k, v in series.items():
+        benchmark.extra_info[k] = round(v, 1)
+    # shape: false aborting is a high-contention phenomenon
+    hc = [series[n] for n in HIGH_CONTENTION]
+    lc = [series[n] for n in ("genome", "kmeans", "ssca2", "vacation")]
+    assert max(hc) > 10.0
+    assert max(lc) < min(15.0, max(hc))

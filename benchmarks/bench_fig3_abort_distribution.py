@@ -1,0 +1,21 @@
+"""Fig. 3: distribution of the number of transactions aborted
+unnecessarily per false-aborting request."""
+
+from repro.analysis import experiments
+
+from conftest import BENCH_SCALE, BENCH_SEED, write_result
+
+
+def test_fig3(benchmark):
+    result = benchmark.pedantic(
+        experiments.fig3, args=(BENCH_SCALE, BENCH_SEED),
+        rounds=1, iterations=1)
+    write_result("fig3", result.text)
+    dists = result.data["distributions"]
+    # every distribution sums to ~1 and multi-victim cases exist
+    multi = 0.0
+    for name, d in dists.items():
+        total = sum(d.values())
+        assert total == 0.0 or abs(total - 1.0) < 1e-9
+        multi += sum(frac for k, frac in d.items() if k >= 2)
+    assert multi > 0.0  # the "long trailing" the paper highlights

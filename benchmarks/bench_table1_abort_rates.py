@@ -1,0 +1,21 @@
+"""Table I: benchmark inputs and baseline abort rates."""
+
+from repro.analysis import experiments
+
+from conftest import BENCH_SCALE, BENCH_SEED, write_result
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(
+        experiments.table1, args=(BENCH_SCALE, BENCH_SEED),
+        rounds=1, iterations=1)
+    write_result("table1", result.text)
+    for row in result.data["rows"]:
+        benchmark.extra_info[row["benchmark"]] = row["measured abort %"]
+    # sanity: the high/low contention split survives
+    measured = {r["benchmark"]: r["measured abort %"]
+                for r in result.data["rows"]}
+    high = [measured[n] for n in ("bayes", "intruder", "labyrinth",
+                                  "yada")]
+    low = [measured[n] for n in ("genome", "kmeans", "ssca2")]
+    assert min(high) > max(low)

@@ -1,0 +1,12 @@
+"""Table II: the simulated system configuration."""
+
+from repro.analysis import experiments
+
+from conftest import write_result
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(experiments.table2, rounds=1, iterations=1)
+    write_result("table2", result.text)
+    cfg = result.data["config"]
+    assert cfg.num_nodes == 16

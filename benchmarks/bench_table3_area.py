@@ -1,0 +1,16 @@
+"""Table III: PUNO VLSI area/power overhead."""
+
+from repro.analysis import experiments
+
+from conftest import write_result
+
+
+def test_table3(benchmark):
+    result = benchmark.pedantic(experiments.table3, rounds=1, iterations=1)
+    write_result("table3", result.text)
+    est = result.data["estimate"]
+    benchmark.extra_info["area_overhead_pct"] = 100 * est["area_overhead"]
+    benchmark.extra_info["power_overhead_pct"] = 100 * est["power_overhead"]
+    # the paper's headline: 0.41% area, 0.31% power
+    assert abs(100 * est["area_overhead"] - 0.41) < 0.02
+    assert abs(100 * est["power_overhead"] - 0.31) < 0.02

@@ -1,0 +1,48 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures at a reduced
+but shape-preserving scale (override with ``REPRO_BENCH_SCALE=1.0``)
+and writes the rendered rows/series to ``benchmarks/results/``.
+
+The evaluation figures (10-14) share one 8-workload x 4-scheme sweep,
+computed once per session.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis.sweep import SchemeSweep, paper_schemes
+from repro.workloads.stamp import STAMP_WORKLOADS, make_stamp_workload
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def paper_sweep():
+    """The 8 x 4 evaluation grid, shared by the Fig. 10-14 benches."""
+    factories = {
+        name: (lambda name=name: make_stamp_workload(
+            name, scale=BENCH_SCALE, seed=BENCH_SEED))
+        for name in STAMP_WORKLOADS
+    }
+    sweep = SchemeSweep(paper_schemes())
+    return sweep.run(factories)
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE

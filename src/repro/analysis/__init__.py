@@ -1,0 +1,38 @@
+"""Post-processing, reporting and experiment harnesses.
+
+* :mod:`repro.analysis.metrics` — derived metrics (normalization,
+  G/D ratio aggregation, high-contention averages),
+* :mod:`repro.analysis.falseabort` — the Fig. 2/3 classification,
+* :mod:`repro.analysis.report` — ASCII table/series rendering,
+* :mod:`repro.analysis.sweep` — multi-run comparison harness,
+* :mod:`repro.analysis.experiments` — one entry point per paper table
+  and figure (the benchmarks call these).
+"""
+
+from repro.analysis.metrics import (
+    normalized,
+    geomean,
+    high_contention_average,
+    MetricTable,
+)
+from repro.analysis.falseabort import (
+    false_abort_rate,
+    victim_distribution,
+)
+from repro.analysis.report import render_table, render_series
+from repro.analysis.sweep import SchemeSweep, SweepResult
+from repro.analysis import experiments
+
+__all__ = [
+    "normalized",
+    "geomean",
+    "high_contention_average",
+    "MetricTable",
+    "false_abort_rate",
+    "victim_distribution",
+    "render_table",
+    "render_series",
+    "SchemeSweep",
+    "SweepResult",
+    "experiments",
+]

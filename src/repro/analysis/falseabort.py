@@ -1,0 +1,53 @@
+"""False-aborting classification (Section II-C, Figs. 2 and 3).
+
+A transactional GETX request *incurs false aborting* when it is nacked
+(the conflict did not materialize for the requester) **and** it aborted
+one or more sharer transactions on the way — those aborts were
+unnecessary.  The node controllers classify every completed
+transactional GETX at collection time; this module just exposes the
+derived views the figures need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sim.stats import Stats
+
+
+def false_abort_rate(stats: Stats) -> float:
+    """Fraction of transactional GETX requests that incur false
+    aborting (the Fig. 2 bar for one workload)."""
+    return stats.false_aborting_fraction()
+
+
+def victim_distribution(stats: Stats, max_victims: int = 10
+                        ) -> Dict[int, float]:
+    """P(#victims = k | false-aborting request) for k = 1..max
+    (the Fig. 3 series for one workload).
+
+    Counts above ``max_victims`` are folded into the last bucket,
+    mirroring the paper's trailing bucket.
+    """
+    dist = stats.false_abort_victims.distribution()
+    out: Dict[int, float] = {k: 0.0 for k in range(1, max_victims + 1)}
+    for victims, frac in dist.items():
+        bucket = min(victims, max_victims)
+        out[bucket] += frac
+    return out
+
+
+def breakdown(stats: Stats) -> Dict[str, float]:
+    """The Fig. 2 stacked view: granted / nacked-clean / false-aborting
+    fractions of all transactional GETX requests."""
+    total = stats.tx_getx_total
+    if total == 0:
+        return {"granted": 0.0, "nacked_clean": 0.0, "false_aborting": 0.0}
+    false = stats.tx_getx_false_aborting
+    nacked_clean = stats.tx_getx_nacked - false
+    granted = total - stats.tx_getx_nacked
+    return {
+        "granted": granted / total,
+        "nacked_clean": nacked_clean / total,
+        "false_aborting": false / total,
+    }

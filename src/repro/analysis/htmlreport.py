@@ -1,0 +1,193 @@
+"""Self-contained HTML reports with inline SVG bar charts.
+
+No external dependencies: the report is one HTML file with embedded
+CSS and SVG, suitable for sharing a reproduction run.  Used by the
+``report`` example and available from the public API:
+
+    from repro.analysis.htmlreport import Report
+    rep = Report("PUNO evaluation")
+    rep.add_table("Table I", rows)
+    rep.add_grouped_bars("Fig. 10", metric_table.values,
+                         schemes=["baseline", "puno"])
+    rep.write("report.html")
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from typing import List, Mapping, Optional, Sequence
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       max-width: 70em; color: #1a1a2e; }
+h1 { border-bottom: 2px solid #4a4e69; padding-bottom: .3em; }
+h2 { color: #22223b; margin-top: 2em; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #c9ada7; padding: .35em .8em;
+         text-align: right; }
+th { background: #f2e9e4; }
+td:first-child, th:first-child { text-align: left; }
+.note { color: #4a4e69; font-size: .9em; }
+svg text { font-family: inherit; }
+"""
+
+# categorical palette for scheme series
+_COLORS = ("#4a4e69", "#9a8c98", "#c9ada7", "#e07a5f", "#3d405b",
+           "#81b29a")
+
+
+def _esc(s: object) -> str:
+    return html.escape(str(s))
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        if math.isinf(v):
+            return "inf"
+        return f"{v:.3f}"
+    return str(v)
+
+
+class Report:
+    """Accumulates sections, writes one self-contained HTML file."""
+
+    def __init__(self, title: str):
+        self.title = title
+        self._body: List[str] = []
+
+    # ------------------------------------------------------------------
+    def add_text(self, text: str) -> None:
+        self._body.append(f"<p class='note'>{_esc(text)}</p>")
+
+    def add_preformatted(self, text: str, title: str = "") -> None:
+        if title:
+            self._body.append(f"<h2>{_esc(title)}</h2>")
+        self._body.append(f"<pre>{_esc(text)}</pre>")
+
+    def add_table(self, title: str,
+                  rows: Sequence[Mapping[str, object]],
+                  columns: Optional[Sequence[str]] = None) -> None:
+        self._body.append(f"<h2>{_esc(title)}</h2>")
+        if not rows:
+            self._body.append("<p class='note'>(no data)</p>")
+            return
+        cols = list(columns) if columns else list(rows[0].keys())
+        head = "".join(f"<th>{_esc(c)}</th>" for c in cols)
+        body_rows = []
+        for r in rows:
+            cells = "".join(f"<td>{_esc(_fmt(r.get(c, '')))}</td>"
+                            for c in cols)
+            body_rows.append(f"<tr>{cells}</tr>")
+        self._body.append(
+            f"<table><thead><tr>{head}</tr></thead>"
+            f"<tbody>{''.join(body_rows)}</tbody></table>")
+
+    # ------------------------------------------------------------------
+    def add_bars(self, title: str, series: Mapping[str, float],
+                 unit: str = "") -> None:
+        """A single horizontal bar series."""
+        self._body.append(f"<h2>{_esc(title)}</h2>")
+        self._body.append(self._hbar_svg(series, unit))
+
+    def add_grouped_bars(self, title: str,
+                         table: Mapping[str, Mapping[str, float]],
+                         schemes: Sequence[str],
+                         baseline_rule: Optional[float] = 1.0) -> None:
+        """Grouped vertical bars: one group per workload, one bar per
+        scheme — the layout of the paper's Figs. 10-14."""
+        self._body.append(f"<h2>{_esc(title)}</h2>")
+        self._body.append(
+            self._grouped_svg(table, schemes, baseline_rule))
+        legend = " &nbsp; ".join(
+            f"<span style='color:{_COLORS[i % len(_COLORS)]}'>"
+            f"&#9632;</span> {_esc(s)}"
+            for i, s in enumerate(schemes))
+        self._body.append(f"<p class='note'>{legend}</p>")
+
+    # ------------------------------------------------------------------
+    def _hbar_svg(self, series: Mapping[str, float], unit: str) -> str:
+        if not series:
+            return "<p class='note'>(no data)</p>"
+        finite = [v for v in series.values() if math.isfinite(v)]
+        vmax = max(finite, default=1.0) or 1.0
+        row_h, label_w, bar_w = 24, 150, 420
+        height = row_h * len(series) + 10
+        parts = [f"<svg width='{label_w + bar_w + 90}' height='{height}' "
+                 f"xmlns='http://www.w3.org/2000/svg'>"]
+        for i, (label, value) in enumerate(series.items()):
+            y = 5 + i * row_h
+            w = 0 if not math.isfinite(value) else bar_w * value / vmax
+            parts.append(
+                f"<text x='{label_w - 8}' y='{y + 15}' "
+                f"text-anchor='end' font-size='13'>{_esc(label)}</text>")
+            parts.append(
+                f"<rect x='{label_w}' y='{y + 3}' width='{max(w, 1):.1f}' "
+                f"height='{row_h - 8}' fill='{_COLORS[0]}'/>")
+            parts.append(
+                f"<text x='{label_w + max(w, 1) + 6:.1f}' y='{y + 15}' "
+                f"font-size='12'>{_fmt(value)}{_esc(unit)}</text>")
+        parts.append("</svg>")
+        return "".join(parts)
+
+    def _grouped_svg(self, table: Mapping[str, Mapping[str, float]],
+                     schemes: Sequence[str],
+                     baseline_rule: Optional[float]) -> str:
+        groups = list(table)
+        if not groups or not schemes:
+            return "<p class='note'>(no data)</p>"
+        vals = [table[g].get(s, 0.0) for g in groups for s in schemes]
+        finite = [v for v in vals if math.isfinite(v)]
+        vmax = max(max(finite, default=1.0), baseline_rule or 0.0, 1e-9)
+        bar_w, gap, group_gap, plot_h = 14, 2, 18, 180
+        group_w = len(schemes) * (bar_w + gap) + group_gap
+        width = 60 + group_w * len(groups)
+        height = plot_h + 60
+        parts = [f"<svg width='{width}' height='{height}' "
+                 f"xmlns='http://www.w3.org/2000/svg'>"]
+        # y axis + baseline rule
+        parts.append(f"<line x1='50' y1='10' x2='50' y2='{plot_h + 10}' "
+                     f"stroke='#888'/>")
+        if baseline_rule is not None:
+            y = 10 + plot_h * (1 - baseline_rule / vmax)
+            parts.append(
+                f"<line x1='50' y1='{y:.1f}' x2='{width - 5}' "
+                f"y2='{y:.1f}' stroke='#e07a5f' stroke-dasharray='4 3'/>")
+            parts.append(
+                f"<text x='4' y='{y + 4:.1f}' font-size='11'>"
+                f"{_fmt(baseline_rule)}</text>")
+        for gi, g in enumerate(groups):
+            x0 = 56 + gi * group_w
+            for si, s in enumerate(schemes):
+                v = table[g].get(s, 0.0)
+                h = 0.0 if not math.isfinite(v) else plot_h * v / vmax
+                h = min(h, plot_h)
+                x = x0 + si * (bar_w + gap)
+                y = 10 + plot_h - h
+                parts.append(
+                    f"<rect x='{x}' y='{y:.1f}' width='{bar_w}' "
+                    f"height='{max(h, 0.5):.1f}' "
+                    f"fill='{_COLORS[si % len(_COLORS)]}'/>")
+            parts.append(
+                f"<text x='{x0 + group_w / 2 - group_gap / 2}' "
+                f"y='{plot_h + 28}' text-anchor='middle' font-size='11' "
+                f"transform='rotate(25 {x0 + group_w / 2 - group_gap / 2} "
+                f"{plot_h + 28})'>{_esc(g)}</text>")
+        parts.append("</svg>")
+        return "".join(parts)
+
+    # ------------------------------------------------------------------
+    def html(self) -> str:
+        return (
+            "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            f"<title>{_esc(self.title)}</title>"
+            f"<style>{_CSS}</style></head><body>"
+            f"<h1>{_esc(self.title)}</h1>"
+            + "".join(self._body) + "</body></html>"
+        )
+
+    def write(self, path) -> str:
+        text = self.html()
+        with open(path, "w") as fh:
+            fh.write(text)
+        return str(path)

@@ -1,0 +1,83 @@
+"""Multi-run comparison harness.
+
+``SchemeSweep`` runs one workload family under several schemes
+(contention manager + config pairs) and materializes
+:class:`~repro.analysis.metrics.MetricTable` objects for any metric —
+this is the engine behind Figs. 10-14 and the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.analysis.metrics import METRICS, MetricTable
+from repro.sim.config import SystemConfig
+from repro.sim.stats import Stats
+from repro.system import run_workload
+from repro.workloads.base import Workload
+
+# A scheme is (contention manager name, config) — PUNO needs both.
+Scheme = Tuple[str, SystemConfig]
+
+
+def paper_schemes(config: Optional[SystemConfig] = None
+                  ) -> Dict[str, Scheme]:
+    """The four designs of the paper's evaluation (Section IV-A)."""
+    base = config or SystemConfig()
+    return {
+        "baseline": ("baseline", base),
+        "backoff": ("backoff", base),
+        "rmw": ("rmw", base),
+        "puno": ("puno", base.with_puno()),
+    }
+
+
+@dataclass
+class SweepResult:
+    """All Stats from one sweep, indexed [workload][scheme]."""
+
+    stats: Dict[str, Dict[str, Stats]] = field(default_factory=dict)
+
+    def add(self, workload: str, scheme: str, stats: Stats) -> None:
+        self.stats.setdefault(workload, {})[scheme] = stats
+
+    def table(self, metric: str) -> MetricTable:
+        fn = METRICS[metric]
+        t = MetricTable(metric)
+        for wl, row in self.stats.items():
+            for scheme, st in row.items():
+                t.set(wl, scheme, fn(st))
+        return t
+
+    def normalized(self, metric: str,
+                   baseline: str = "baseline") -> MetricTable:
+        return self.table(metric).normalized_to(baseline)
+
+
+class SchemeSweep:
+    """Run {workload name -> Workload factory} x {scheme} grids."""
+
+    def __init__(self, schemes: Optional[Dict[str, Scheme]] = None,
+                 max_cycles: Optional[int] = 200_000_000,
+                 audit: bool = True):
+        self.schemes = schemes if schemes is not None else paper_schemes()
+        self.max_cycles = max_cycles
+        self.audit = audit
+
+    def run(self, workloads: Dict[str, Callable[[], Workload]],
+            verbose: bool = False) -> SweepResult:
+        result = SweepResult()
+        for wl_name, factory in workloads.items():
+            for scheme_name, (cm, config) in self.schemes.items():
+                wl = factory()
+                r = run_workload(config, wl, cm=cm,
+                                 max_cycles=self.max_cycles,
+                                 audit=self.audit)
+                result.add(wl_name, scheme_name, r.stats)
+                if verbose:
+                    print(f"  {wl_name}/{scheme_name}: "
+                          f"{r.stats.execution_cycles} cycles, "
+                          f"{r.stats.tx_aborted} aborts "
+                          f"({r.wall_seconds:.2f}s wall)")
+        return result

@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``describe`` — print the simulated machine configuration (Table II).
+* ``run`` — simulate one workload under one scheme and print stats.
+* ``compare`` — run one workload under several schemes, normalized.
+* ``experiment`` — regenerate one paper table/figure by name.
+* ``workloads`` — list the available workloads and their parameters.
+* ``area`` — print the PUNO area/power estimate (Table III).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.analysis import experiments as experiments_mod
+from repro.analysis.report import render_table
+from repro.core.hw_model import estimate_overhead
+from repro.sim.config import SystemConfig
+from repro.system import run_workload
+from repro.workloads.stamp import STAMP_WORKLOADS, make_stamp_workload
+from repro.workloads.synthetic import make_synthetic_workload
+
+SCHEMES = ("baseline", "backoff", "rmw", "puno")
+
+EXPERIMENTS = {
+    "table1": lambda a: experiments_mod.table1(a.scale, a.seed),
+    "table2": lambda a: experiments_mod.table2(),
+    "table3": lambda a: experiments_mod.table3(),
+    "fig2": lambda a: experiments_mod.fig2(a.scale, a.seed),
+    "fig3": lambda a: experiments_mod.fig3(a.scale, a.seed),
+    "fig10": lambda a: experiments_mod.fig10(a.scale, a.seed),
+    "fig11": lambda a: experiments_mod.fig11(a.scale, a.seed),
+    "fig12": lambda a: experiments_mod.fig12(a.scale, a.seed),
+    "fig13": lambda a: experiments_mod.fig13(a.scale, a.seed),
+    "fig14": lambda a: experiments_mod.fig14(a.scale, a.seed),
+}
+
+
+def _make_workload(args):
+    if args.workload == "synthetic":
+        return make_synthetic_workload(
+            num_nodes=args.nodes, instances=args.instances,
+            shared_lines=args.shared_lines, tx_reads=args.tx_reads,
+            tx_writes=args.tx_writes, seed=args.seed)
+    return make_stamp_workload(args.workload, num_nodes=args.nodes,
+                               scale=args.scale, seed=args.seed)
+
+
+def _make_config(args, scheme: str) -> SystemConfig:
+    cfg = SystemConfig(seed=args.seed) if args.nodes == 16 else None
+    if cfg is None:
+        from repro.sim.config import small_config
+        cfg = small_config(args.nodes, seed=args.seed)
+    if scheme == "puno":
+        cfg = cfg.with_puno()
+    return cfg
+
+
+def _stats_row(scheme: str, stats) -> Dict[str, object]:
+    return {
+        "scheme": scheme,
+        "commits": stats.tx_committed,
+        "aborts": stats.tx_aborted,
+        "abort %": round(100 * stats.abort_rate(), 1),
+        "traffic": stats.flit_router_traversals,
+        "exec cycles": stats.execution_cycles,
+        "gd": round(stats.gd_ratio(), 2),
+    }
+
+
+# ---------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------
+
+def cmd_describe(args) -> int:
+    print(SystemConfig().describe())
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    rows = []
+    for name, meta in STAMP_WORKLOADS.items():
+        rows.append({
+            "name": name,
+            "paper input": meta.paper_input,
+            "paper abort %": meta.paper_abort_pct,
+            "high contention": "yes" if meta.high_contention else "no",
+        })
+    rows.append({"name": "synthetic", "paper input": "(parametric)",
+                 "paper abort %": "-", "high contention": "-"})
+    print(render_table(rows, title="Available workloads"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    wl = _make_workload(args)
+    cfg = _make_config(args, args.scheme)
+    tracer = None
+    if args.trace:
+        from repro.sim.trace import Tracer
+        tracer = Tracer()
+    from repro.system import System
+    system = System(cfg, wl, args.scheme, trace=tracer)
+    result = system.run(max_cycles=args.max_cycles)
+    if args.trace:
+        n = tracer.write_jsonl(args.trace)
+        print(f"wrote {n} trace events to {args.trace}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(result.summary(), indent=1))
+    else:
+        print(render_table([_stats_row(args.scheme, result.stats)],
+                           title=f"{wl.name} under {args.scheme}"))
+        if args.hotspots:
+            print("\nrouter utilization (flit traversals):")
+            print(system.network.utilization_grid())
+            print("hotspots:", system.network.hotspots(top=3))
+        print(f"\nwall time: {result.wall_seconds:.2f}s")
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    from repro.workloads.characterize import characterize
+    wl = _make_workload(args)
+    c = characterize(wl)
+    rows = [{"property": k, "value": v} for k, v in c.summary().items()]
+    print(render_table(rows, title=f"{wl.name} — structural "
+                                   f"characterization"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    schemes = args.schemes.split(",") if args.schemes else list(SCHEMES)
+    unknown = set(schemes) - set(SCHEMES)
+    if unknown:
+        print(f"unknown scheme(s): {sorted(unknown)}", file=sys.stderr)
+        return 2
+    rows: List[Dict[str, object]] = []
+    base_stats = None
+    for scheme in schemes:
+        wl = _make_workload(args)
+        cfg = _make_config(args, scheme)
+        result = run_workload(cfg, wl, cm=scheme,
+                              max_cycles=args.max_cycles)
+        row = _stats_row(scheme, result.stats)
+        if base_stats is None:
+            base_stats = result.stats
+        row["aborts x"] = round(result.stats.tx_aborted
+                                / max(base_stats.tx_aborted, 1), 3)
+        row["exec x"] = round(result.stats.execution_cycles
+                              / base_stats.execution_cycles, 3)
+        rows.append(row)
+    print(render_table(rows, title=f"{args.workload}: scheme comparison "
+                                   f"(x = vs {schemes[0]})"))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    fn = EXPERIMENTS.get(args.name)
+    if fn is None:
+        print(f"unknown experiment {args.name!r}; choices: "
+              f"{sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    result = fn(args)
+    print(result.text)
+    return 0
+
+
+def cmd_area(args) -> int:
+    est = estimate_overhead(pbuffer_entries=args.pbuffer,
+                            txlb_entries=args.txlb)
+    for key, value in est.items():
+        if key.endswith("overhead"):
+            print(f"{key}: {100 * value:.2f}%")
+        else:
+            print(f"{key}: {value:.1f}")
+    return 0
+
+
+# ---------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="PUNO (IPDPS 2014) reproduction toolkit")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("describe", help="print the Table II configuration")
+    sub.add_parser("workloads", help="list available workloads")
+
+    def common(sp):
+        sp.add_argument("workload",
+                        choices=sorted(STAMP_WORKLOADS) + ["synthetic"])
+        sp.add_argument("--nodes", type=int, default=16)
+        sp.add_argument("--scale", type=float, default=0.5)
+        sp.add_argument("--seed", type=int, default=0)
+        sp.add_argument("--max-cycles", type=int, default=500_000_000)
+        sp.add_argument("--instances", type=int, default=12,
+                        help="synthetic only")
+        sp.add_argument("--shared-lines", type=int, default=64,
+                        help="synthetic only")
+        sp.add_argument("--tx-reads", type=int, default=8,
+                        help="synthetic only")
+        sp.add_argument("--tx-writes", type=int, default=2,
+                        help="synthetic only")
+
+    run_p = sub.add_parser("run", help="simulate one workload")
+    common(run_p)
+    run_p.add_argument("--scheme", choices=SCHEMES, default="baseline")
+    run_p.add_argument("--json", action="store_true",
+                       help="print the summary as JSON")
+    run_p.add_argument("--trace", metavar="FILE",
+                       help="write a JSONL event trace")
+    run_p.add_argument("--hotspots", action="store_true",
+                       help="print router utilization after the run")
+
+    char_p = sub.add_parser("characterize",
+                            help="static structural summary of a "
+                                 "workload (no simulation)")
+    common(char_p)
+
+    cmp_p = sub.add_parser("compare", help="compare schemes")
+    common(cmp_p)
+    cmp_p.add_argument("--schemes", default=None,
+                       help="comma-separated subset of "
+                            f"{','.join(SCHEMES)}")
+
+    exp_p = sub.add_parser("experiment",
+                           help="regenerate one paper table/figure")
+    exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp_p.add_argument("--scale", type=float, default=0.4)
+    exp_p.add_argument("--seed", type=int, default=0)
+
+    area_p = sub.add_parser("area", help="Table III area/power model")
+    area_p.add_argument("--pbuffer", type=int, default=16)
+    area_p.add_argument("--txlb", type=int, default=32)
+
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "describe": cmd_describe,
+        "workloads": cmd_workloads,
+        "run": cmd_run,
+        "characterize": cmd_characterize,
+        "compare": cmd_compare,
+        "experiment": cmd_experiment,
+        "area": cmd_area,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

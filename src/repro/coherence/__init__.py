@@ -1,0 +1,21 @@
+"""MESI directory-coherence substrate.
+
+This package reimplements, from scratch, the coherence machinery the
+paper piggybacks HTM conflict detection onto: private write-back L1s,
+a shared static-NUCA L2 whose banks double as home-node directories
+(SGI-Origin-style blocking directory), and the full
+GETS/GETX/forward/NACK/ACK/DATA/UNBLOCK message choreography.
+"""
+
+from repro.coherence.states import L1State, DirState
+from repro.coherence.cache import CacheLine, L1Cache
+from repro.coherence.directory import DirectoryController, DirEntry
+
+__all__ = [
+    "L1State",
+    "DirState",
+    "CacheLine",
+    "L1Cache",
+    "DirectoryController",
+    "DirEntry",
+]

@@ -1,0 +1,429 @@
+"""Home-node directory controller (one per L2 bank).
+
+SGI-Origin-style *blocking* directory: an entry blocks while a request
+is in flight and queues subsequent requests FIFO.  Every service blocks
+its entry; simple services (data supplied directly by the home bank)
+unblock when the response leaves, forwarded services unblock when the
+requester's UNBLOCK arrives.  The time an entry spends blocked while
+servicing a *transactional GETX* is the Fig. 12 metric.
+
+PUNO plugs in through an optional ``puno`` unit (see
+:mod:`repro.core.puno`): it observes transactional requests (P-Buffer
+updates), may turn a would-be multicast of a transactional GETX into a
+U-bit unicast to the predicted highest-priority sharer, receives
+misprediction feedback relayed on UNBLOCK, and recomputes the entry's
+UD pointer off the critical path after each service.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Set, Tuple
+
+from repro.coherence.states import DirState
+from repro.network.message import Message, MessageType
+from repro.network.network import Network
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Simulator
+from repro.sim.stats import Stats
+
+
+class DirEntry:
+    """Directory state for one cache line."""
+
+    __slots__ = ("state", "sharers", "owner", "value", "in_l2", "blocked",
+                 "waitq", "service", "ud", "tx_readers")
+
+    def __init__(self) -> None:
+        self.state: DirState = DirState.I
+        self.sharers: Set[int] = set()
+        self.owner: Optional[int] = None
+        self.value: int = 0
+        self.in_l2: bool = False  # False until first touch (memory fetch)
+        self.blocked: bool = False
+        self.waitq: Deque[Tuple[Message, int]] = deque()  # (msg, arrival)
+        self.service: Optional["ServiceRecord"] = None
+        self.ud: Optional[int] = None  # PUNO unicast-destination pointer
+        # PUNO reader-epoch metadata: sharer -> timestamp of the
+        # transaction whose request added it to the sharer list.
+        self.tx_readers: dict = {}
+
+
+class ServiceRecord:
+    """In-flight request bookkeeping while the entry is blocked."""
+
+    __slots__ = ("msg", "kind", "block_start", "is_txgetx", "owner_path",
+                 "unicast", "requester_was_sharer", "targets")
+
+    def __init__(self, msg: Message, kind: str, block_start: int,
+                 is_txgetx: bool = False, owner_path: bool = False,
+                 unicast: bool = False, requester_was_sharer: bool = False,
+                 targets: Tuple[int, ...] = ()):
+        self.msg = msg
+        self.kind = kind  # 'gets' | 'getx' | 'fetch' | 'simple'
+        self.block_start = block_start
+        self.is_txgetx = is_txgetx
+        self.owner_path = owner_path
+        self.unicast = unicast
+        self.requester_was_sharer = requester_was_sharer
+        self.targets = targets
+
+
+class DirectoryController:
+    """The home directory + L2 slice of one node."""
+
+    def __init__(self, sim: Simulator, node: int, config: SystemConfig,
+                 network: Network, stats: Stats, puno=None):
+        self.sim = sim
+        self.node = node
+        self.config = config
+        self.network = network
+        self.stats = stats
+        self.puno = puno  # Optional[repro.core.puno.DirectoryPUNO]
+        self.entries: Dict[int, DirEntry] = {}
+
+    # ------------------------------------------------------------------
+    # message entry point
+    # ------------------------------------------------------------------
+    def receive(self, msg: Message) -> None:
+        if msg.mtype in (MessageType.GETS, MessageType.GETX, MessageType.PUT):
+            self._enqueue_or_service(msg)
+        elif msg.mtype is MessageType.UNBLOCK:
+            self._handle_unblock(msg)
+        elif msg.mtype is MessageType.WB_DATA:
+            self._handle_wb_data(msg)
+        else:  # pragma: no cover - protocol bug guard
+            raise ValueError(f"directory {self.node} got {msg}")
+
+    def entry(self, addr: int) -> DirEntry:
+        e = self.entries.get(addr)
+        if e is None:
+            e = DirEntry()
+            self.entries[addr] = e
+        return e
+
+    # ------------------------------------------------------------------
+    # request dispatch / queueing
+    # ------------------------------------------------------------------
+    def _enqueue_or_service(self, msg: Message) -> None:
+        entry = self.entry(msg.addr)
+        if entry.blocked:
+            entry.waitq.append((msg, self.sim.now))
+            return
+        self._service(msg, entry)
+
+    def _service(self, msg: Message, entry: DirEntry) -> None:
+        self.stats.dir_requests[msg.mtype] += 1
+        if self.stats.tracer is not None:
+            self.stats.tracer.emit(
+                "dir", self.sim.now, event="service", home=self.node,
+                type=msg.mtype.value, addr=msg.addr, req=msg.requester,
+                state=entry.state.value, sharers=len(entry.sharers))
+        if self.puno is not None:
+            self.puno.observe_request(msg)
+        if msg.mtype is MessageType.GETS:
+            self._service_gets(msg, entry)
+        elif msg.mtype is MessageType.GETX:
+            self._service_getx(msg, entry)
+        else:
+            self._service_put(msg, entry)
+
+    # ------------------------------------------------------------------
+    # GETS
+    # ------------------------------------------------------------------
+    def _service_gets(self, msg: Message, entry: DirEntry) -> None:
+        if entry.state is DirState.I:
+            self._fetch_and_grant(msg, entry, exclusive=True)
+        elif entry.state is DirState.S:
+            # Data streams from the home L2 bank; entry blocks for the
+            # bank occupancy and unblocks when the response leaves.
+            self._block(entry, ServiceRecord(msg, "simple", self.sim.now))
+            delay = self.config.directory_latency + self.config.l2_latency
+            self.sim.schedule(delay, self._finish_simple_gets, msg, entry)
+        else:  # M: forward to the owner
+            assert entry.owner is not None and entry.owner != msg.requester, (
+                f"GETS from owner {msg.requester} addr {msg.addr}")
+            rec = ServiceRecord(msg, "gets", self.sim.now, owner_path=True)
+            self._block(entry, rec)
+            fwd = Message(
+                MessageType.FWD_GETS, msg.addr, self.node, entry.owner,
+                requester=msg.requester, req_id=msg.req_id, tx=msg.tx,
+                acks_expected=1, terminal=True,
+            )
+            self.network.send(fwd, extra_delay=self.config.directory_latency)
+
+    def _finish_simple_gets(self, msg: Message, entry: DirEntry) -> None:
+        entry.sharers.add(msg.requester)
+        if msg.tx is not None:
+            entry.tx_readers[msg.requester] = msg.tx.timestamp
+        else:
+            entry.tx_readers.pop(msg.requester, None)
+        entry.state = DirState.S
+        resp = Message(
+            MessageType.DATA, msg.addr, self.node, msg.requester,
+            requester=msg.requester, req_id=msg.req_id,
+            value=entry.value, acks_expected=0,
+        )
+        self.network.send(resp)
+        self._unblock(entry)
+
+    # ------------------------------------------------------------------
+    # GETX (and upgrades)
+    # ------------------------------------------------------------------
+    def _service_getx(self, msg: Message, entry: DirEntry) -> None:
+        is_tx = msg.tx is not None
+        if is_tx:
+            self.stats.tx_getx_total += 1
+        if entry.state is DirState.I:
+            if is_tx:
+                self.stats.tx_getx_granted += 1
+            self._fetch_and_grant(msg, entry, exclusive=True)
+            return
+        if entry.state is DirState.M:
+            assert entry.owner is not None and entry.owner != msg.requester, (
+                f"GETX from owner {msg.requester} addr {msg.addr}")
+            rec = ServiceRecord(msg, "getx", self.sim.now,
+                                is_txgetx=is_tx, owner_path=True)
+            self._block(entry, rec)
+            fwd = Message(
+                MessageType.FWD_GETX, msg.addr, self.node, entry.owner,
+                requester=msg.requester, req_id=msg.req_id, tx=msg.tx,
+                acks_expected=1, terminal=True, committing=msg.committing,
+            )
+            self.network.send(fwd, extra_delay=self.config.directory_latency)
+            return
+
+        # state S
+        targets = tuple(sorted(entry.sharers - {msg.requester}))
+        was_sharer = msg.requester in entry.sharers
+        if not targets:
+            # Requester is the sole sharer (or the list is empty):
+            # grant immediately, blocking only for bank occupancy.
+            if is_tx:
+                self.stats.tx_getx_granted += 1
+            self._block(entry, ServiceRecord(msg, "simple", self.sim.now))
+            delay = self.config.directory_latency
+            if not was_sharer:
+                delay += self.config.l2_latency
+            self.sim.schedule(delay, self._finish_sole_getx, msg, entry,
+                              was_sharer)
+            return
+
+        # PUNO: try to unicast to the predicted highest-priority sharer.
+        unicast_to: Optional[int] = None
+        extra = self.config.directory_latency
+        if self.puno is not None and is_tx:
+            unicast_to = self.puno.predict_unicast(entry, msg, targets)
+            extra += self.puno.predict_latency
+        if unicast_to is not None:
+            self.stats.puno_unicasts += 1
+            rec = ServiceRecord(msg, "getx", self.sim.now, is_txgetx=is_tx,
+                                unicast=True, requester_was_sharer=was_sharer,
+                                targets=(unicast_to,))
+            self._block(entry, rec)
+            fwd = Message(
+                MessageType.FWD_GETX, msg.addr, self.node, unicast_to,
+                requester=msg.requester, req_id=msg.req_id, tx=msg.tx,
+                acks_expected=1, terminal=True, u_bit=True,
+            )
+            self.network.send(fwd, extra_delay=extra)
+            return
+
+        if self.puno is not None and is_tx:
+            self.stats.puno_multicasts += 1
+        rec = ServiceRecord(msg, "getx", self.sim.now, is_txgetx=is_tx,
+                            requester_was_sharer=was_sharer, targets=targets)
+        self._block(entry, rec)
+        k = len(targets)
+        for i, t in enumerate(targets):
+            fwd = Message(
+                MessageType.FWD_GETX, msg.addr, self.node, t,
+                requester=msg.requester, req_id=msg.req_id, tx=msg.tx,
+                acks_expected=k, committing=msg.committing,
+            )
+            # One injection port: the i-th invalidation leaves one
+            # flit-time after the previous — the serialization that
+            # makes multicasts occupy the entry longer than unicasts
+            # (the Fig. 12 effect).
+            self.network.send(fwd, extra_delay=extra + i)
+        # Grant header to the requester: data unless it still holds S.
+        if was_sharer:
+            grant = Message(
+                MessageType.GRANT, msg.addr, self.node, msg.requester,
+                requester=msg.requester, req_id=msg.req_id, acks_expected=k,
+            )
+            self.network.send(grant, extra_delay=extra)
+        else:
+            grant = Message(
+                MessageType.DATA_EXCL, msg.addr, self.node, msg.requester,
+                requester=msg.requester, req_id=msg.req_id,
+                value=entry.value, acks_expected=k,
+            )
+            self.network.send(grant, extra_delay=extra + self.config.l2_latency)
+
+    def _finish_sole_getx(self, msg: Message, entry: DirEntry,
+                          was_sharer: bool) -> None:
+        entry.sharers.clear()
+        entry.tx_readers.clear()
+        if msg.tx is not None:
+            # a transactional writer reads the line too (write implies
+            # read permission); remember its epoch so a later downgrade
+            # keeps it a valid unicast candidate
+            entry.tx_readers[msg.requester] = msg.tx.timestamp
+        entry.state = DirState.M
+        entry.owner = msg.requester
+        if was_sharer:
+            resp = Message(
+                MessageType.GRANT, msg.addr, self.node, msg.requester,
+                requester=msg.requester, req_id=msg.req_id, acks_expected=0,
+            )
+        else:
+            resp = Message(
+                MessageType.DATA_EXCL, msg.addr, self.node, msg.requester,
+                requester=msg.requester, req_id=msg.req_id,
+                value=entry.value, acks_expected=0,
+            )
+        self.network.send(resp)
+        self._unblock(entry)
+
+    # ------------------------------------------------------------------
+    # I-state fetch path (first touch pays memory latency)
+    # ------------------------------------------------------------------
+    def _fetch_and_grant(self, msg: Message, entry: DirEntry,
+                         exclusive: bool) -> None:
+        if entry.in_l2:
+            delay = self.config.directory_latency + self.config.l2_latency
+        else:
+            delay = self.config.directory_latency + self.config.memory_latency
+            self.stats.l2_misses += 1
+        self._block(entry, ServiceRecord(msg, "fetch", self.sim.now))
+        self.sim.schedule(delay, self._finish_fetch, msg, entry)
+
+    def _finish_fetch(self, msg: Message, entry: DirEntry) -> None:
+        entry.in_l2 = True
+        # MESI: a GETS with no sharers is granted Exclusive, so both
+        # GETS and GETX leave the entry in the owner state.
+        entry.state = DirState.M
+        entry.owner = msg.requester
+        entry.sharers.clear()
+        entry.tx_readers.clear()
+        if msg.tx is not None:
+            entry.tx_readers[msg.requester] = msg.tx.timestamp
+        resp = Message(
+            MessageType.DATA_EXCL, msg.addr, self.node, msg.requester,
+            requester=msg.requester, req_id=msg.req_id,
+            value=entry.value, acks_expected=0,
+        )
+        self.network.send(resp)
+        self._unblock(entry)
+
+    # ------------------------------------------------------------------
+    # PUT (writeback)
+    # ------------------------------------------------------------------
+    def _service_put(self, msg: Message, entry: DirEntry) -> None:
+        self.stats.writebacks += 1
+        if entry.state is DirState.M and entry.owner == msg.src:
+            entry.value = msg.value
+            entry.owner = None
+            entry.in_l2 = True
+            if msg.sticky:
+                # Sticky-S: the evictor's transaction read this line;
+                # keep it a sharer so forwards still reach it.
+                entry.state = DirState.S
+                entry.sharers = {msg.src}
+                if msg.tx is not None:
+                    entry.tx_readers = {msg.src: msg.tx.timestamp}
+            else:
+                entry.state = DirState.I
+                entry.sharers = set()
+                entry.tx_readers = {}
+        # else: stale writeback (ownership already moved on) — drop it.
+        ack = Message(
+            MessageType.PUT_ACK, msg.addr, self.node, msg.src,
+            requester=msg.src, req_id=msg.req_id,
+        )
+        self.network.send(ack, extra_delay=self.config.directory_latency)
+
+    # ------------------------------------------------------------------
+    # UNBLOCK / WB_DATA
+    # ------------------------------------------------------------------
+    def _handle_unblock(self, msg: Message) -> None:
+        entry = self.entries[msg.addr]
+        rec = entry.service
+        assert rec is not None and entry.blocked, f"spurious UNBLOCK {msg}"
+        if rec.kind == "getx":
+            if msg.success:
+                entry.sharers.clear()
+                entry.tx_readers.clear()
+                if rec.msg.tx is not None:
+                    entry.tx_readers[msg.requester] = rec.msg.tx.timestamp
+                entry.state = DirState.M
+                entry.owner = msg.requester
+            elif rec.owner_path or rec.unicast:
+                pass  # nothing was invalidated; state stands
+            else:
+                # Multicast fail: nackers kept their copies, everyone
+                # else invalidated; the (upgrading) requester keeps S.
+                survivors = set(msg.survivors)
+                if rec.requester_was_sharer:
+                    survivors.add(msg.requester)
+                entry.sharers = survivors
+                entry.tx_readers = {n: ts for n, ts in entry.tx_readers.items()
+                                    if n in survivors}
+                entry.state = DirState.S if survivors else DirState.I
+        elif rec.kind == "gets":
+            if msg.success:
+                old_owner = entry.owner
+                entry.state = DirState.S
+                entry.owner = None
+                entry.sharers = {old_owner, msg.requester}
+                # keep the downgraded owner's reader epoch (it read the
+                # line under its current transaction), add the requester
+                entry.tx_readers = {
+                    n: ts for n, ts in entry.tx_readers.items()
+                    if n == old_owner
+                }
+                if rec.msg.tx is not None:
+                    entry.tx_readers[msg.requester] = rec.msg.tx.timestamp
+            # fail: owner nacked and keeps M; state stands.
+        else:  # pragma: no cover - protocol bug guard
+            raise AssertionError(f"UNBLOCK for {rec.kind} service")
+
+        if self.puno is not None:
+            if msg.mp_bit and msg.mp_node >= 0:
+                self.puno.feedback_mispredict(msg.mp_node)
+            self.puno.after_service(entry)
+        self._unblock(entry)
+
+    def _handle_wb_data(self, msg: Message) -> None:
+        # Owner-supplied data on an M -> S downgrade.  Always freshest.
+        entry = self.entry(msg.addr)
+        entry.value = msg.value
+        entry.in_l2 = True
+
+    # ------------------------------------------------------------------
+    # blocking machinery
+    # ------------------------------------------------------------------
+    def _block(self, entry: DirEntry, rec: ServiceRecord) -> None:
+        assert not entry.blocked
+        entry.blocked = True
+        entry.service = rec
+        self.stats.dir_blocked_events += 1
+
+    def _unblock(self, entry: DirEntry) -> None:
+        rec = entry.service
+        assert rec is not None
+        blocked_for = self.sim.now - rec.block_start
+        self.stats.dir_blocked_cycles_total += blocked_for
+        if rec.is_txgetx:
+            self.stats.dir_blocked_cycles_txgetx += blocked_for
+        entry.blocked = False
+        entry.service = None
+        if self.puno is not None and rec.kind != "fetch":
+            self.puno.after_service(entry)
+        # Drain the wait queue until a service blocks the entry again
+        # (some services, e.g. PUT, complete without blocking).
+        while entry.waitq and not entry.blocked:
+            nxt, arrived = entry.waitq.popleft()
+            self.stats.dir_queue_wait_cycles += self.sim.now - arrived
+            self._service(nxt, entry)

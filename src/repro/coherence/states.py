@@ -1,0 +1,32 @@
+"""Coherence state enums.
+
+L1 lines use MESI; the directory tracks {Invalid, Shared, Modified}
+with E folded into the owner path (an E owner is tracked exactly like an
+M owner — it silently upgrades on a local write, and supplies data on
+forwards, clean or dirty).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class L1State(enum.Enum):
+    I = "I"
+    S = "S"
+    E = "E"
+    M = "M"
+
+    @property
+    def readable(self) -> bool:
+        return self is not L1State.I
+
+    @property
+    def writable(self) -> bool:
+        return self in (L1State.E, L1State.M)
+
+
+class DirState(enum.Enum):
+    I = "I"  # only the home L2/memory has the line
+    S = "S"  # one or more read-only sharers
+    M = "M"  # a single owner holds E or M

@@ -1,0 +1,31 @@
+"""PUNO — Predictive Unicast and Notification (the paper's contribution).
+
+The package implements the hardware structures of Section III:
+
+* :class:`~repro.core.pbuffer.PBuffer` — per-directory transaction
+  priority buffer with 2-bit validity counters and an adaptive rollover
+  timeout;
+* :func:`~repro.core.udpointer.recompute_ud` — unicast-destination
+  pointer maintenance;
+* :class:`~repro.core.txlb.TxLB` — per-node transaction length buffer
+  (formula (1)) feeding the notification mechanism;
+* :class:`~repro.core.puno.DirectoryPUNO` — the directory-side unit that
+  ties them together: P-Buffer updates from incoming transactional
+  requests, unicast-destination prediction, misprediction feedback;
+* :mod:`~repro.core.hw_model` — the Table III area/power estimate.
+"""
+
+from repro.core.pbuffer import PBuffer
+from repro.core.txlb import TxLB
+from repro.core.udpointer import recompute_ud
+from repro.core.puno import DirectoryPUNO
+from repro.core.hw_model import PunoAreaModel, estimate_overhead
+
+__all__ = [
+    "PBuffer",
+    "TxLB",
+    "recompute_ud",
+    "DirectoryPUNO",
+    "PunoAreaModel",
+    "estimate_overhead",
+]

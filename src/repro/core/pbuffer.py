@@ -1,0 +1,119 @@
+"""Transaction Priority Buffer (P-Buffer), Section III-B.
+
+Each directory holds N entries — one per node — recording the latest
+transaction priority (timestamp) observed from that node's coherence
+requests.  A 2-bit validity counter per entry and a directory-wide
+rollover timeout implement staleness control (Fig. 5):
+
+* on timeout, every non-zero validity counter is decremented;
+* on a priority update, the counter is incremented — twice when it was
+  0, "to allow a longer timeout period";
+* only entries with validity greater than the threshold (1) are used
+  for unicast prediction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.sim.config import PUNOConfig
+
+
+class PBuffer:
+    """Fixed-size {node -> (priority, validity)} table."""
+
+    def __init__(self, num_nodes: int, config: PUNOConfig):
+        if num_nodes > config.pbuffer_entries:
+            raise ValueError(
+                f"P-Buffer has {config.pbuffer_entries} entries for "
+                f"{num_nodes} nodes"
+            )
+        self.config = config
+        self.num_nodes = num_nodes
+        self._priority: List[Optional[int]] = [None] * num_nodes
+        self._validity: List[int] = [0] * num_nodes
+        # advertised expected length of the recorded transaction (the
+        # requester's TxLB estimate, carried on every request); 0 when
+        # unknown.  Drives the expected-lifetime staleness check.
+        self._length: List[int] = [0] * num_nodes
+        # cycle of the last update per entry (liveness evidence: a
+        # stalled-but-live transaction keeps polling and refreshing)
+        self._touched: List[int] = [0] * num_nodes
+        self.updates = 0
+        self.invalidations = 0
+        self.decays = 0
+
+    # ------------------------------------------------------------------
+    def update(self, node: int, timestamp: int,
+               length_hint: int = 0, now: int = 0) -> Optional[int]:
+        """Record the latest transaction priority seen from ``node``.
+
+        Returns the previous timestamp (None on first sight) so the
+        caller can observe priority *changes* — the timestamp delta of
+        two successive transactions measures transaction lifetime,
+        which drives the adaptive rollover timeout.
+        """
+        prev = self._priority[node]
+        self._priority[node] = timestamp
+        self._length[node] = length_hint
+        self._touched[node] = now
+        v = self._validity[node]
+        bump = 2 if v == 0 else 1
+        self._validity[node] = min(v + bump, self.config.validity_max)
+        self.updates += 1
+        return prev
+
+    def invalidate(self, node: int) -> None:
+        """Misprediction feedback: drop the stale priority."""
+        self._validity[node] = 0
+        self._priority[node] = None
+        self._length[node] = 0
+        self.invalidations += 1
+
+    def decay(self) -> None:
+        """Rollover timeout: age every non-zero validity counter."""
+        self.decays += 1
+        for i, v in enumerate(self._validity):
+            if v > 0:
+                self._validity[i] = v - 1
+
+    # ------------------------------------------------------------------
+    def usable(self, node: int, now: Optional[int] = None) -> bool:
+        """Entry is fresh enough for unicast prediction.
+
+        With ``now``, also applies the expected-lifetime check: an
+        entry older than ``lifetime_factor`` x its own advertised
+        transaction length almost certainly describes a transaction
+        that already committed (the staleness mode that dominates
+        short-transaction workloads, where the validity counters alone
+        are too coarse).
+        """
+        ts = self._priority[node]
+        if ts is None or self._validity[node] <= self.config.validity_threshold:
+            return False
+        if now is not None and self.config.lifetime_factor > 0:
+            # A recently refreshed entry is live regardless of age: a
+            # stalled-but-running transaction keeps polling, so its
+            # wall-clock age can far exceed the advertised *active*
+            # length.  Only age-gate entries that have gone silent.
+            if now - self._touched[node] > self.config.recency_window:
+                hint = self._length[node]
+                if hint > 0 and (now - ts) > self.config.lifetime_factor * hint:
+                    return False
+        return True
+
+    def priority(self, node: int) -> Optional[int]:
+        return self._priority[node]
+
+    def validity(self, node: int) -> int:
+        return self._validity[node]
+
+    def key(self, node: int) -> Optional[Tuple[int, int]]:
+        """Total-order priority key (timestamp, node); smaller = older."""
+        ts = self._priority[node]
+        return None if ts is None else (ts, node)
+
+    def length(self, node: int) -> int:
+        """Advertised transaction length of the recorded entry (0 =
+        unknown)."""
+        return self._length[node]

@@ -1,0 +1,71 @@
+"""Transaction Length Buffer (TxLB), Section III-D.
+
+A per-node table tracking the average length of each *static*
+transaction's past dynamic instances:
+
+    StaticTxLen_new = (StaticTxLen_prev + DynTxLen) / 2        (1)
+
+— an exponential moving average that weights recent instances more.
+The hardware table holds ``capacity`` entries with LRU replacement; on
+overflow the evicted entry moves to a software-managed map (the paper's
+fallback for the "rare case of overflow"), so length history is never
+lost, only its access cost changes (not modeled — overflows are merely
+counted).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+
+class TxLB:
+    """Average-length tracker for static transactions."""
+
+    def __init__(self, capacity: int = 32):
+        self.capacity = capacity
+        self._hw: "OrderedDict[int, float]" = OrderedDict()
+        self._soft: Dict[int, float] = {}
+        self.updates = 0
+        self.overflows = 0
+
+    def update(self, static_id: int, dyn_len: int) -> float:
+        """Fold a committed instance's length in via formula (1)."""
+        self.updates += 1
+        prev = self._get(static_id)
+        new = dyn_len if prev is None else (prev + dyn_len) / 2.0
+        self._soft.pop(static_id, None)
+        self._hw[static_id] = new
+        self._hw.move_to_end(static_id)
+        while len(self._hw) > self.capacity:
+            evicted_id, evicted_len = self._hw.popitem(last=False)
+            self._soft[evicted_id] = evicted_len
+            self.overflows += 1
+        return new
+
+    def _get(self, static_id: int) -> Optional[float]:
+        if static_id in self._hw:
+            return self._hw[static_id]
+        return self._soft.get(static_id)
+
+    def average_length(self, static_id: int) -> Optional[int]:
+        """Current estimate, or None when the transaction is unseen."""
+        v = self._get(static_id)
+        if v is None:
+            return None
+        if static_id in self._hw:
+            self._hw.move_to_end(static_id)
+        return int(v)
+
+    def estimate_remaining(self, static_id: int, elapsed: int) -> int:
+        """T_est for the notification: remaining run time in cycles.
+
+        Returns −1 when no history exists (no notification is sent).
+        """
+        avg = self.average_length(static_id)
+        if avg is None:
+            return -1
+        return max(0, avg - elapsed)
+
+    def __len__(self) -> int:
+        return len(self._hw)

@@ -1,0 +1,45 @@
+"""Unicast-Destination (UD) pointer maintenance, Section III-B.
+
+Each directory entry carries the id of the sharer with the highest
+known transaction priority.  The pointer is recomputed after the
+directory services a request to the block — off the critical path, so
+no latency is charged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.core.pbuffer import PBuffer
+
+
+def recompute_ud(sharers: Iterable[int], pbuffer: PBuffer,
+                 tx_readers: Optional[Dict[int, int]] = None,
+                 now: Optional[int] = None) -> Optional[int]:
+    """The sharer with the oldest usable priority, or None.
+
+    Only P-Buffer entries whose validity exceeds the threshold
+    participate; ties in timestamp break on node id (the same total
+    order used everywhere for conflict resolution).
+
+    When ``tx_readers`` is given (the reader-epoch filter), a sharer is
+    a candidate only if the transaction that added it to the sharer
+    list is still the node's current transaction — i.e. the timestamp
+    recorded at add time equals the node's current P-Buffer priority.
+    Such a sharer *provably* holds the line in its live read set, so a
+    priority-favourable unicast to it will be nacked.
+    """
+    best: Optional[int] = None
+    best_key = None
+    for node in sharers:
+        if not pbuffer.usable(node, now):
+            continue
+        if tx_readers is not None:
+            added_ts = tx_readers.get(node)
+            if added_ts is None or added_ts != pbuffer.priority(node):
+                continue
+        key = pbuffer.key(node)
+        if best_key is None or key < best_key:
+            best_key = key
+            best = node
+    return best

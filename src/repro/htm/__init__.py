@@ -1,0 +1,25 @@
+"""Eager, log-based hardware transactional memory layer.
+
+Conflict detection piggybacks on the coherence protocol exactly as in
+LogTM-class designs: a forwarded request is checked against the
+receiving node's transaction read/write sets; the conflict is resolved
+with the time-based policy (older transaction wins — it NACKs; a
+younger sharer invalidates, ACKs and aborts itself).
+"""
+
+from repro.htm.transaction import Transaction, TxStatus
+from repro.htm.conflict import (
+    Decision,
+    check_fwd_getx,
+    check_fwd_gets,
+)
+from repro.htm.node import NodeController
+
+__all__ = [
+    "Transaction",
+    "TxStatus",
+    "Decision",
+    "check_fwd_getx",
+    "check_fwd_gets",
+    "NodeController",
+]

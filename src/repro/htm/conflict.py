@@ -1,0 +1,75 @@
+"""Conflict detection and time-based resolution.
+
+These are the pure decision rules a node applies when a forwarded
+coherence request reaches it (Section II-B of the paper):
+
+* the receiver checks the address against its transaction's read and
+  write sets (the "single-writer, multi-reader" invariant);
+* on conflict, the *older* transaction (smaller timestamp, node id as
+  tiebreak) wins: an older sharer NACKs the request, a younger sharer
+  invalidates, ACKs and aborts itself;
+* non-transactional requesters have the lowest priority: a conflicting
+  transaction always NACKs them; non-transactional sharers never
+  conflict and always comply.
+
+Because the priority order is total and retained across retries, a
+waits-for cycle would require every blocker to be older than its
+waiter — impossible — so the scheme is deadlock free (property-tested
+in ``tests/properties``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.network.message import TxTag
+from repro.htm.transaction import Transaction
+
+
+class Decision(enum.Enum):
+    ACK = "ack"  # comply (invalidate/downgrade); no transaction involved
+    ACK_ABORT = "ack_abort"  # comply and abort the local transaction
+    NACK = "nack"  # refuse: local transaction is older (or req non-tx)
+
+
+def _local_wins(local: Transaction, req: Optional[TxTag]) -> bool:
+    """True when the local transaction has priority over the requester."""
+    if local.committing:
+        return True  # a publishing lazy committer is unassailable
+    if req is None:
+        return True  # transactions always beat non-transactional requests
+    return local.tag().older_than(req)
+
+
+def check_fwd_getx(tx: Optional[Transaction], addr: int,
+                   req: Optional[TxTag],
+                   committing: bool = False) -> Decision:
+    """Decide a sharer/owner's response to a forwarded (tx)GETX.
+
+    A GETX conflicts with the local transaction if the address is in
+    its read *or* write set.  ``committing`` marks a lazy
+    transaction's commit-time publication, which always wins
+    (committer-wins; see :mod:`repro.htm.lazy`).
+    """
+    if tx is None or not tx.active or not tx.touches(addr):
+        return Decision.ACK
+    if committing:
+        return Decision.ACK_ABORT
+    if _local_wins(tx, req):
+        return Decision.NACK
+    return Decision.ACK_ABORT
+
+
+def check_fwd_gets(tx: Optional[Transaction], addr: int,
+                   req: Optional[TxTag]) -> Decision:
+    """Decide an owner's response to a forwarded GETS.
+
+    A GETS conflicts only with the local *write* set (read-read sharing
+    is never a conflict).  ACK here means "supply data and downgrade".
+    """
+    if tx is None or not tx.active or not tx.wrote(addr):
+        return Decision.ACK
+    if _local_wins(tx, req):
+        return Decision.NACK
+    return Decision.ACK_ABORT

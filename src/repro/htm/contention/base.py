@@ -1,0 +1,65 @@
+"""Contention-manager interface.
+
+One manager instance serves all nodes (per-node state lives in dicts
+keyed by node id) so cross-node statistics stay in one place.  All
+hooks are cheap and synchronous; backoff decisions return cycle counts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.sim.config import SystemConfig
+from repro.sim.stats import Stats
+
+
+class ContentionManager:
+    """Baseline hook set; subclasses override what they change."""
+
+    name = "base"
+
+    def __init__(self, config: SystemConfig, stats: Stats,
+                 rng: Optional[random.Random] = None):
+        self.config = config
+        self.stats = stats
+        self.rng = rng or random.Random(0)
+        # Set by System after wiring; managers that need the clock
+        # (e.g. the ATS ticket queue) read it from here.
+        self.sim = None
+
+    # --- requester-side -------------------------------------------------
+    def nack_backoff(self, node: int, retries: int, t_est: int,
+                     is_tx: bool) -> int:
+        """Cycles to wait before re-polling after a nacked request.
+
+        ``t_est`` is the nacker's notification (−1 when absent).
+        """
+        return self.config.htm.nack_backoff
+
+    def restart_backoff(self, node: int, consecutive_aborts: int) -> int:
+        """Extra delay before re-executing an aborted instance
+        (on top of the log-unroll recovery cost)."""
+        return 0
+
+    # --- RMW prediction hooks (no-ops except RMWPredictor) ---------------
+    def predict_exclusive_load(self, node: int, pc: int) -> bool:
+        """Should this transactional load request exclusive permission?"""
+        return False
+
+    def train_load(self, node: int, pc: int, addr: int) -> None:
+        pass
+
+    def train_store(self, node: int, addr: int) -> None:
+        pass
+
+    # --- lifecycle hooks --------------------------------------------------
+    def on_tx_begin(self, node: int) -> None:
+        pass
+
+    def on_commit(self, node: int, length: int = 0) -> None:
+        """``length`` is the committed attempt's duration in cycles."""
+        pass
+
+    def on_abort(self, node: int) -> None:
+        pass

@@ -1,0 +1,14 @@
+"""Baseline fixed backoff.
+
+The paper's baseline HTM: "a nacked requester node backoffs for a fixed
+20 cycles before retrying the request" (Section IV-A).  Aborted
+transactions restart as soon as abort recovery finishes.
+"""
+
+from __future__ import annotations
+
+from repro.htm.contention.base import ContentionManager
+
+
+class FixedBackoff(ContentionManager):
+    name = "baseline"

@@ -1,0 +1,37 @@
+"""PUNO's notification-guided requester backoff (Section III-D).
+
+When a NACK carries a notification ``T_est`` (the nacker's estimated
+remaining run time), the requester backs off
+``T_est − 2 × avg_cache_to_cache_latency`` when that is positive —
+the subtraction accounts for the round trip already in flight — and
+falls back to the baseline's fixed backoff otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.htm.contention.base import ContentionManager
+from repro.sim.config import SystemConfig
+from repro.sim.stats import Stats
+
+
+class PUNOBackoff(ContentionManager):
+    name = "puno"
+
+    def __init__(self, config: SystemConfig, stats: Stats, rng=None,
+                 avg_c2c: float = 0.0):
+        super().__init__(config, stats, rng)
+        self.avg_c2c = avg_c2c
+
+    def nack_backoff(self, node: int, retries: int, t_est: int,
+                     is_tx: bool) -> int:
+        puno = self.config.puno
+        if t_est >= 0 and puno.notification_enabled:
+            wait = int(t_est - 2 * self.avg_c2c)
+            if puno.notification_cap > 0:
+                # T_est assumes the nacker commits; re-validate
+                # periodically in case it was aborted early.
+                wait = min(wait, puno.notification_cap)
+            if wait > 0:
+                self.stats.puno_notified_backoff_cycles += wait
+                return wait
+        return self.config.htm.nack_backoff

@@ -1,0 +1,20 @@
+"""Randomized linear backoff (Scherer & Scott [17]).
+
+"Aborted transactions enter randomized linear backoff before
+restarting.  Transactions that abort frequently will have longer
+backoff."  The wait is uniform in ``[0, slot * min(aborts, cap)]``;
+nacked-retry polling keeps the baseline's fixed backoff.
+"""
+
+from __future__ import annotations
+
+from repro.htm.contention.base import ContentionManager
+
+
+class RandomBackoff(ContentionManager):
+    name = "backoff"
+
+    def restart_backoff(self, node: int, consecutive_aborts: int) -> int:
+        htm = self.config.htm
+        n = min(max(consecutive_aborts, 1), htm.random_backoff_cap)
+        return self.rng.randint(0, htm.random_backoff_slot * n)

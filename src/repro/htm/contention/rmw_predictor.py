@@ -1,0 +1,78 @@
+"""Read-modify-write predictor (Bobba et al. [5]).
+
+Transactions exhibiting the load-then-store-to-the-same-line pattern
+request exclusive permission at the *load*, avoiding the later dueling
+upgrade.  Each node tracks up to 256 load instructions (PCs); a PC is
+trained when a store in the same transaction hits a line that PC loaded
+first.
+
+The paper's evaluation shows the scheme's pathology — it converts
+read-read sharing into write-read conflicts — which emerges here for
+free: an upgraded load multicasts invalidations to every reader.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+from repro.htm.contention.base import ContentionManager
+from repro.sim.config import SystemConfig
+from repro.sim.stats import Stats
+
+
+class _NodePredictor:
+    """One node's PC table plus the per-transaction first-loader map."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.table: "OrderedDict[int, bool]" = OrderedDict()  # pc -> RMW
+        self.first_loader: Dict[int, int] = {}  # addr -> pc (this tx)
+
+    def reset_tx(self) -> None:
+        self.first_loader.clear()
+
+    def load(self, pc: int, addr: int) -> None:
+        self.first_loader.setdefault(addr, pc)
+
+    def store(self, addr: int) -> int:
+        """Train on a store; returns 1 if a PC was newly marked RMW."""
+        pc = self.first_loader.get(addr)
+        if pc is None:
+            return 0
+        newly = pc not in self.table or not self.table[pc]
+        self.table[pc] = True
+        self.table.move_to_end(pc)
+        while len(self.table) > self.capacity:
+            self.table.popitem(last=False)
+        return 1 if newly else 0
+
+    def predict(self, pc: int) -> bool:
+        hit = self.table.get(pc, False)
+        if pc in self.table:
+            self.table.move_to_end(pc)
+        return hit
+
+
+class RMWPredictor(ContentionManager):
+    name = "rmw"
+
+    def __init__(self, config: SystemConfig, stats: Stats, rng=None):
+        super().__init__(config, stats, rng)
+        cap = config.htm.rmw_entries
+        self._nodes = [_NodePredictor(cap) for _ in range(config.num_nodes)]
+
+    def on_tx_begin(self, node: int) -> None:
+        self._nodes[node].reset_tx()
+
+    def train_load(self, node: int, pc: int, addr: int) -> None:
+        self._nodes[node].load(pc, addr)
+
+    def train_store(self, node: int, addr: int) -> None:
+        self.stats.rmw_trained += self._nodes[node].store(addr)
+
+    def predict_exclusive_load(self, node: int, pc: int) -> bool:
+        if self._nodes[node].predict(pc):
+            self.stats.rmw_upgraded_loads += 1
+            return True
+        return False

@@ -1,0 +1,700 @@
+"""Node controller: in-order core + private L1 + transactional unit.
+
+One controller per node.  The core executes its :class:`Program`
+sequentially with one outstanding miss at a time (blocking, 1-IPC-class
+model matching the paper's in-order SPARC cores).  The controller also
+answers forwarded coherence requests at any time — that is where eager
+conflict detection happens — and implements the requester side of the
+blocking-directory protocol (response collection, UNBLOCK duties, and
+the false-aborting classification of Figs. 2–3).
+
+Abort/commit mechanics follow LogTM/FASTM: eager version management
+with an undo log held against the L1 (speculative values live in M
+lines, pre-transaction values in the log), fast hardware abort recovery
+charged as ``base + per_entry x |write_set|`` cycles, and a retained
+per-instance timestamp so the time-based policy is starvation free.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional
+
+from repro.coherence.cache import CapacityError, L1Cache
+from repro.coherence.states import L1State
+from repro.core.txlb import TxLB
+from repro.htm.conflict import Decision, check_fwd_gets, check_fwd_getx
+from repro.htm.contention.base import ContentionManager
+from repro.htm.transaction import Transaction, TxStatus
+from repro.network.message import Message, MessageType, TxTag
+from repro.network.network import Network
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Event, Simulator
+from repro.sim.stats import Stats
+from repro.workloads.base import Gap, NonTxOp, Program, TxInstance, TxOp
+
+
+class Mshr:
+    """The single outstanding miss/upgrade of this node."""
+
+    __slots__ = ("req_id", "addr", "op", "exclusive", "is_tx", "grant",
+                 "expected", "acks", "aborted_acks", "nacks", "issued_at")
+
+    def __init__(self, req_id: int, addr: int, op, exclusive: bool,
+                 is_tx: bool, issued_at: int):
+        self.req_id = req_id
+        self.addr = addr
+        self.op = op
+        self.exclusive = exclusive
+        self.is_tx = is_tx
+        self.grant: Optional[Message] = None
+        self.expected: Optional[int] = None
+        self.acks = 0
+        self.aborted_acks = 0
+        self.nacks: List[Message] = []
+        self.issued_at = issued_at
+
+    def max_t_est(self) -> int:
+        return max((n.t_est for n in self.nacks), default=-1)
+
+    def mp_node(self) -> int:
+        for n in self.nacks:
+            if n.mp_bit:
+                return n.src
+        return -1
+
+
+class NodeController:
+    """Core + L1 + TX unit of one node."""
+
+    def __init__(self, sim: Simulator, node: int, config: SystemConfig,
+                 network: Network, stats: Stats, cm: ContentionManager,
+                 program: Program,
+                 on_done: Optional[Callable[[int], None]] = None,
+                 txlb: Optional[TxLB] = None):
+        self.sim = sim
+        self.node = node
+        self.config = config
+        self.network = network
+        self.stats = stats
+        self.nstats = stats.nodes[node]
+        self.cm = cm
+        self.program = program
+        self.on_done = on_done
+        self.txlb = txlb if txlb is not None else TxLB(config.puno.txlb_entries)
+
+        self.l1 = L1Cache(config.cache)
+        self.mshr: Optional[Mshr] = None
+        self.wb_buffer: Dict[int, int] = {}  # limbo: addr -> dirty value
+        self.wb_waiters: Dict[int, List[Callable[[], None]]] = {}
+
+        self.tx: Optional[Transaction] = None
+        self._instance: Optional[TxInstance] = None
+        self._instance_ts: int = -1
+        self._instance_seq = 0
+        self._attempt = 0
+        self._consecutive_aborts = 0
+        self._op_idx = 0
+        self._op_retries = 0
+        self._item_idx = 0
+        self._capacity_aborts_row = 0
+        # Footprint of the previous aborted attempt of the current
+        # instance.  Re-execution replays the same ops, so a line read
+        # by the last attempt *will* be read again: a unicast probe for
+        # it is answered as a true conflict, not a misprediction.
+        self._prev_footprint: frozenset = frozenset()
+        self._pending: Optional[Event] = None
+        self._req_seq = itertools.count()
+        self.done = False
+
+        # atomicity audit: increments applied by committed work only
+        self.committed_increments = 0
+        self._attempt_increments = 0
+
+    # ==================================================================
+    # program execution
+    # ==================================================================
+    def start(self) -> None:
+        self.sim.schedule(0, self._next_item)
+
+    def _next_item(self) -> None:
+        if self._item_idx >= len(self.program):
+            if not self.done:
+                self.done = True
+                if self.on_done is not None:
+                    self.on_done(self.node)
+            return
+        item = self.program[self._item_idx]
+        self._item_idx += 1
+        if isinstance(item, Gap):
+            self.sim.schedule(item.cycles, self._next_item)
+        elif isinstance(item, NonTxOp):
+            self._op_retries = 0
+            self._pending = self.sim.schedule(item.think, self._access_op, item)
+        elif isinstance(item, TxInstance):
+            self._instance = item
+            self._instance_ts = -1
+            self._attempt = 0
+            self._consecutive_aborts = 0
+            self._prev_footprint = frozenset()
+            self._begin_attempt()
+        else:  # pragma: no cover
+            raise TypeError(f"bad program item {item!r}")
+
+    # ------------------------------------------------------------------
+    # transaction lifecycle
+    # ------------------------------------------------------------------
+    def _begin_attempt(self) -> None:
+        inst = self._instance
+        assert inst is not None
+        if self._instance_ts < 0:
+            # Timestamp assigned once per dynamic instance, retained
+            # across re-executions (time-based policy, Section II-B).
+            self._instance_ts = self.sim.now
+            self.nstats.tx_started += 1
+            self._instance_seq += 1
+        self._attempt += 1
+        self.nstats.tx_attempts += 1
+        self.tx = Transaction(
+            node=self.node, static_id=inst.static_id,
+            instance_id=self._instance_seq, timestamp=self._instance_ts,
+            attempt=self._attempt, start_cycle=self.sim.now,
+        )
+        if self.stats.tracer is not None:
+            self.stats.tracer.emit(
+                "tx", self.sim.now, event="begin", node=self.node,
+                static=inst.static_id, ts=self._instance_ts,
+                attempt=self._attempt)
+        self._attempt_increments = 0
+        self._op_idx = 0
+        self._op_retries = 0
+        self.cm.on_tx_begin(self.node)
+        self._pending = self.sim.schedule(self.config.htm.begin_cost,
+                                          self._run_op)
+
+    def _run_op(self) -> None:
+        self._pending = None
+        tx = self.tx
+        if tx is None:
+            return
+        if tx.doomed:
+            self._handle_abort()
+            return
+        inst = self._instance
+        assert inst is not None
+        if self._op_idx >= len(inst.ops):
+            self._pending = self.sim.schedule(self.config.htm.commit_cost,
+                                              self._commit)
+            return
+        op = inst.ops[self._op_idx]
+        self._op_retries = 0
+        self._pending = self.sim.schedule(op.think, self._access_op, op)
+
+    def _commit(self) -> None:
+        self._pending = None
+        tx = self.tx
+        assert tx is not None
+        if tx.doomed:
+            # A conflict landed during the commit window.
+            self._handle_abort()
+            return
+        tx.status = TxStatus.COMMITTED
+        dyn_len = self.sim.now - tx.attempt_start
+        self.nstats.tx_committed += 1
+        self.nstats.good_cycles += dyn_len
+        # TxLB tracks the *running* length; stall time is not running.
+        self.txlb.update(tx.static_id, max(1, dyn_len - tx.stall_cycles))
+        self.committed_increments += self._attempt_increments
+        self.l1.unpin_all(tx.read_set | tx.write_set)
+        if self.stats.tracer is not None:
+            self.stats.tracer.emit(
+                "tx", self.sim.now, event="commit", node=self.node,
+                static=tx.static_id, ts=tx.timestamp, cycles=dyn_len,
+                reads=len(tx.read_set), writes=len(tx.write_set))
+        self.cm.on_commit(self.node, dyn_len)
+        self.tx = None
+        self._instance = None
+        self._next_item()
+
+    # ------------------------------------------------------------------
+    # abort machinery
+    # ------------------------------------------------------------------
+    def _self_abort(self, cause: str) -> None:
+        """Detect an abort *now*: restore values, drop isolation.
+
+        Recovery cost and restart are charged in :meth:`_handle_abort`,
+        which runs at the next control point (or immediately when the
+        core is idle in think/backoff).
+        """
+        tx = self.tx
+        assert tx is not None and tx.active
+        tx.doom(cause)
+        self.nstats.discarded_cycles += self.sim.now - tx.attempt_start
+        self.nstats.aborts_by_cause[cause] += 1
+        self._prev_footprint = frozenset(tx.read_set | tx.write_set)
+        if self.stats.tracer is not None:
+            self.stats.tracer.emit(
+                "tx", self.sim.now, event="abort", node=self.node,
+                static=tx.static_id, ts=tx.timestamp, cause=cause,
+                attempt=tx.attempt,
+                wasted=self.sim.now - tx.attempt_start)
+        # Undo-log restore: logged lines are local (pinned, E/M).
+        for addr, old in tx.undo_log.items():
+            line = self.l1.lookup(addr, touch=False)
+            assert line is not None, f"undo target {addr} not resident"
+            line.value = old
+        self._attempt_increments = 0
+        self.l1.unpin_all(tx.read_set | tx.write_set)
+        # Wake the core if it is sleeping in think/backoff; if a request
+        # is outstanding, completion will notice the doomed flag.
+        if self.mshr is None and self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+            self.sim.schedule(0, self._maybe_handle_abort, tx)
+
+    def _maybe_handle_abort(self, doomed_tx: Transaction) -> None:
+        if self.tx is doomed_tx and doomed_tx.doomed:
+            self._handle_abort()
+
+    def _handle_abort(self) -> None:
+        tx = self.tx
+        assert tx is not None and tx.doomed
+        tx.status = TxStatus.ABORTED
+        self.nstats.tx_aborted += 1
+        self._consecutive_aborts += 1
+        if tx.abort_cause == "capacity":
+            self._capacity_aborts_row += 1
+            if self._capacity_aborts_row > 3:
+                raise RuntimeError(
+                    f"node {self.node}: transaction {tx.static_id} write "
+                    f"set exceeds L1 way capacity (set conflict); this "
+                    f"simulator requires write sets to fit one L1 set "
+                    f"({self.config.cache.ways} ways)")
+        else:
+            self._capacity_aborts_row = 0
+        self.cm.on_abort(self.node)
+        htm = self.config.htm
+        recovery = htm.abort_base_cost + htm.abort_per_entry_cost * len(tx.write_set)
+        backoff = self.cm.restart_backoff(self.node, self._consecutive_aborts)
+        self.nstats.backoff_cycles += backoff
+        self.tx = None
+        self._pending = self.sim.schedule(recovery + backoff,
+                                          self._begin_attempt)
+
+    # ==================================================================
+    # memory access path
+    # ==================================================================
+    def _access_op(self, op) -> None:
+        self._pending = None
+        tx = self.tx
+        is_tx_op = isinstance(op, TxOp)
+        if is_tx_op:
+            if tx is None:
+                return  # instance already torn down
+            if tx.doomed:
+                self._handle_abort()
+                return
+        addr = op.addr
+        if addr in self.wb_buffer:
+            # The line is mid-writeback; wait for the PUT_ACK.
+            self.wb_waiters.setdefault(addr, []).append(
+                lambda: self._access_op(op))
+            return
+        line = self.l1.lookup(addr)
+        if op.is_write:
+            if line is not None and line.state in (L1State.E, L1State.M):
+                line.state = L1State.M  # silent E -> M upgrade
+                self._apply_write(op, line)
+                self._finish_op(op)
+            else:
+                self._issue(op, exclusive=True)
+        else:
+            if line is not None and line.state.readable:
+                self._apply_read(op, line)
+                self._finish_op(op)
+            else:
+                exclusive = bool(
+                    is_tx_op
+                    and self.cm.predict_exclusive_load(self.node, op.pc)
+                )
+                self._issue(op, exclusive=exclusive)
+
+    def _apply_read(self, op, line) -> None:
+        if isinstance(op, TxOp) and self.tx is not None:
+            self.tx.record_read(line.addr)
+            self.l1.pin(line.addr, level=1)
+            self.cm.train_load(self.node, op.pc, line.addr)
+
+    def _apply_write(self, op, line) -> None:
+        if isinstance(op, TxOp) and self.tx is not None:
+            self.tx.record_write(line.addr, line.value)
+            self.l1.pin(line.addr, level=2)
+            self.cm.train_store(self.node, line.addr)
+            line.value += 1
+            self._attempt_increments += 1
+        else:
+            line.value += 1
+            self.committed_increments += 1
+
+    def _finish_op(self, op) -> None:
+        delay = self.config.cache.hit_latency
+        if isinstance(op, TxOp):
+            self._op_idx += 1
+            self._pending = self.sim.schedule(delay, self._run_op)
+        else:
+            self._pending = self.sim.schedule(delay, self._next_item)
+
+    # ------------------------------------------------------------------
+    # request issue / retry
+    # ------------------------------------------------------------------
+    def _issue(self, op, exclusive: bool) -> None:
+        assert self.mshr is None, "one outstanding request per node"
+        addr = op.addr
+        is_tx_op = isinstance(op, TxOp)
+        tag: Optional[TxTag] = None
+        if is_tx_op and self.tx is not None:
+            hint = self.txlb.average_length(self.tx.static_id) or 0
+            tag = self.tx.tag(length_hint=hint)
+        req_id = next(self._req_seq)
+        self.mshr = Mshr(req_id, addr, op, exclusive, tag is not None,
+                         self.sim.now)
+        mtype = MessageType.GETX if exclusive else MessageType.GETS
+        msg = Message(mtype, addr, self.node, self.config.home_node(addr),
+                      requester=self.node, req_id=req_id, tx=tag)
+        self.network.send(msg, extra_delay=self.config.cache.hit_latency)
+
+    def _retry(self, op) -> None:
+        self._pending = None
+        if isinstance(op, TxOp):
+            tx = self.tx
+            if tx is None:
+                return
+            if tx.doomed:
+                self._handle_abort()
+                return
+        # Re-evaluate from the cache: state may have changed meanwhile.
+        self._access_op(op)
+
+    # ==================================================================
+    # incoming messages
+    # ==================================================================
+    def receive(self, msg: Message) -> None:
+        t = msg.mtype
+        if t in (MessageType.DATA, MessageType.DATA_EXCL, MessageType.GRANT,
+                 MessageType.ACK, MessageType.NACK):
+            self._mshr_response(msg)
+        elif t is MessageType.FWD_GETX:
+            self._handle_fwd_getx(msg)
+        elif t is MessageType.FWD_GETS:
+            self._handle_fwd_gets(msg)
+        elif t is MessageType.PUT_ACK:
+            self._handle_put_ack(msg)
+        else:  # pragma: no cover - protocol bug guard
+            raise ValueError(f"node {self.node} got {msg}")
+
+    # ------------------------------------------------------------------
+    # requester side: response collection
+    # ------------------------------------------------------------------
+    def _mshr_response(self, msg: Message) -> None:
+        m = self.mshr
+        assert m is not None and msg.req_id == m.req_id, (
+            f"stale response {msg} at node {self.node}")
+        if msg.mtype in (MessageType.DATA, MessageType.DATA_EXCL,
+                         MessageType.GRANT):
+            m.grant = msg
+            if m.expected is None or msg.terminal:
+                m.expected = 0 if msg.terminal else msg.acks_expected
+        elif msg.mtype is MessageType.ACK:
+            m.acks += 1
+            if msg.aborted:
+                m.aborted_acks += 1
+        else:  # NACK
+            m.nacks.append(msg)
+            self.nstats.nacks_received += 1
+        # completion checks
+        if msg.terminal:
+            self._complete(m, success=msg.mtype is not MessageType.NACK,
+                           terminal_msg=msg)
+        elif m.grant is not None and m.acks + len(m.nacks) >= (m.expected or 0):
+            self._complete(m, success=not m.nacks, terminal_msg=None)
+
+    def _complete(self, m: Mshr, success: bool,
+                  terminal_msg: Optional[Message]) -> None:
+        self.mshr = None
+        unicast_path = terminal_msg is not None and terminal_msg.u_bit
+        owner_path = terminal_msg is not None and not terminal_msg.u_bit
+        multicast_path = terminal_msg is None and (m.expected or 0) > 0
+        needs_unblock = owner_path or unicast_path or multicast_path
+
+        # --- classification (Figs. 2-3) and PUNO prediction stats ----
+        if m.is_tx and m.exclusive and (multicast_path or owner_path
+                                        or unicast_path):
+            if success:
+                self.stats.tx_getx_granted += 1
+                self.stats.granted_victims += m.aborted_acks
+            else:
+                self.stats.tx_getx_nacked += 1
+                if m.aborted_acks > 0:
+                    # nacked AND it aborted sharers: false aborting.
+                    self.stats.tx_getx_false_aborting += 1
+                    self.stats.false_abort_victims.add(m.aborted_acks)
+                    self.stats.false_victims += m.aborted_acks
+        if unicast_path:
+            if terminal_msg.mp_bit:
+                self.stats.puno_mispredictions += 1
+            else:
+                self.stats.puno_correct_predictions += 1
+
+        if needs_unblock:
+            mp_node = m.mp_node()
+            unblock = Message(
+                MessageType.UNBLOCK, m.addr, self.node,
+                self.config.home_node(m.addr), requester=self.node,
+                req_id=m.req_id, success=success,
+                survivors=tuple(n.src for n in m.nacks),
+                mp_bit=mp_node >= 0, mp_node=mp_node,
+            )
+            self.network.send(unblock, extra_delay=1)
+
+        if success:
+            self._finish_request(m)
+        else:
+            self._failed_request(m)
+
+    def _finish_request(self, m: Mshr) -> None:
+        op = m.op
+        grant = m.grant
+        assert grant is not None
+        # Install the line with the proper state.
+        if m.exclusive:
+            state = L1State.M
+        elif grant.mtype is MessageType.DATA_EXCL:
+            state = L1State.E  # MESI exclusive-clean grant
+        else:
+            state = L1State.S
+        if grant.mtype is MessageType.GRANT:
+            # Upgrade: we still hold the (pinned or not) S copy.
+            line = self.l1.lookup(m.addr, touch=True)
+            assert line is not None, "upgrade grant without an S copy"
+            line.state = L1State.M
+        else:
+            line = self._install(m.addr, state, grant.value)
+        tx = self.tx
+        is_tx_op = isinstance(op, TxOp)
+        if is_tx_op:
+            if tx is None or tx.doomed:
+                # The transaction died while the request was in flight;
+                # keep the line (coherence is settled) but drop the op.
+                if tx is not None and tx.doomed:
+                    self._handle_abort()
+                return
+            if op.is_write:
+                self._apply_write(op, line)
+            else:
+                self._apply_read(op, line)
+            self._finish_op(op)
+        else:
+            if op.is_write:
+                self._apply_write(op, line)
+            else:
+                self._apply_read(op, line)
+            self._finish_op(op)
+
+    def _failed_request(self, m: Mshr) -> None:
+        op = m.op
+        is_tx_op = isinstance(op, TxOp)
+        tx = self.tx
+        if is_tx_op:
+            if tx is None:
+                return
+            if tx.doomed:
+                self._handle_abort()
+                return
+        self._op_retries += 1
+        if is_tx_op and self._op_retries > self.config.htm.max_retries:
+            # Livelock escape hatch; must not trigger in practice.
+            self._self_abort("livelock")
+            self._handle_abort()
+            return
+        if m.nacks and all(n.mp_bit for n in m.nacks):
+            # Pure misprediction: the request was never truly contested
+            # (the unicast target could not have nacked on priority).
+            # Retry right away — the UNBLOCK carrying the MP feedback is
+            # already ordered ahead of the retry on the same path, so
+            # the directory will multicast the retry.
+            backoff = 2
+        else:
+            backoff = self.cm.nack_backoff(self.node, self._op_retries,
+                                           m.max_t_est(), is_tx_op)
+        self.nstats.stall_cycles += backoff
+        if is_tx_op and tx is not None:
+            tx.stall_cycles += backoff
+        self._pending = self.sim.schedule(backoff, self._retry, op)
+
+    def _install(self, addr: int, state: L1State, value: int):
+        try:
+            line, evicted = self.l1.install(addr, state, value)
+        except CapacityError:
+            assert self.tx is not None and self.tx.active, (
+                "capacity pressure without a transaction")
+            self.stats.capacity_aborts += 1
+            self._self_abort("capacity")
+            line, evicted = self.l1.install(addr, state, value)
+        if evicted is not None and evicted.state in (L1State.E, L1State.M):
+            self._writeback(evicted)
+        return line
+
+    def _writeback(self, line) -> None:
+        self.wb_buffer[line.addr] = line.value
+        # A read-pinned E line is evicted sticky: the directory keeps us
+        # on the sharer list so conflict detection still reaches us.
+        sticky = line.pinned == 1
+        tag = None
+        if sticky and self.tx is not None and self.tx.active:
+            tag = self.tx.tag()
+        put = Message(MessageType.PUT, line.addr, self.node,
+                      self.config.home_node(line.addr),
+                      requester=self.node, req_id=next(self._req_seq),
+                      value=line.value, sticky=sticky, tx=tag)
+        self.network.send(put)
+
+    def _handle_put_ack(self, msg: Message) -> None:
+        self.wb_buffer.pop(msg.addr, None)
+        for cb in self.wb_waiters.pop(msg.addr, []):
+            cb()
+
+    # ------------------------------------------------------------------
+    # responder side: forwarded requests (conflict detection lives here)
+    # ------------------------------------------------------------------
+    def _notification(self) -> int:
+        """T_est for an outgoing NACK (−1 = no notification)."""
+        tx = self.tx
+        if tx is None or not tx.active:
+            return -1
+        if not (self.config.puno.enabled
+                and self.config.puno.notification_enabled):
+            return -1
+        elapsed = self.sim.now - tx.attempt_start - tx.stall_cycles
+        t_est = self.txlb.estimate_remaining(tx.static_id, max(0, elapsed))
+        if t_est >= 0:
+            self.stats.puno_notifications += 1
+        return t_est
+
+    def _handle_fwd_getx(self, msg: Message) -> None:
+        addr = msg.addr
+        tx = self.tx
+        if msg.u_bit:
+            # PUNO unicast probe: NEVER granted (Section III-C) — either
+            # the predicted nacker detects the conflict and nacks with a
+            # notification, or the receiver nacks conservatively with
+            # the MP-bit so the directory can drop its stale priority.
+            # A restarted attempt also nacks for lines its previous
+            # attempt touched: replay will touch them again.
+            dec = check_fwd_getx(tx, addr, msg.tx)
+            will_touch = (self.config.puno.prev_footprint_nack
+                          and dec is not Decision.NACK
+                          and tx is not None and tx.active
+                          and addr in self._prev_footprint
+                          and msg.tx is not None
+                          and tx.tag().older_than(msg.tx))
+            if will_touch:
+                dec = Decision.NACK
+            mp = dec is not Decision.NACK
+            if mp:
+                if tx is None or not tx.active:
+                    self.stats.puno_mp_no_tx += 1
+                elif not tx.touches(addr):
+                    self.stats.puno_mp_no_conflict += 1
+                else:
+                    self.stats.puno_mp_younger += 1
+            resp = Message(
+                MessageType.NACK, addr, self.node, msg.requester,
+                requester=msg.requester, req_id=msg.req_id,
+                terminal=True, u_bit=True, mp_bit=mp,
+                t_est=-1 if mp else self._notification(),
+            )
+            self.nstats.nacks_sent += 1
+            self.network.send(resp, extra_delay=1)
+            return
+
+        dec = check_fwd_getx(tx, addr, msg.tx, committing=msg.committing)
+        if dec is Decision.NACK:
+            notify = msg.terminal  # owner path is a natural unicast
+            resp = Message(
+                MessageType.NACK, addr, self.node, msg.requester,
+                requester=msg.requester, req_id=msg.req_id,
+                terminal=msg.terminal, acks_expected=msg.acks_expected,
+                t_est=self._notification() if notify else -1,
+            )
+            self.nstats.nacks_sent += 1
+            self.network.send(resp, extra_delay=1)
+            return
+
+        aborted = False
+        if dec is Decision.ACK_ABORT:
+            self._self_abort("getx_conflict")
+            aborted = True
+            if msg.tx is not None:
+                self.stats.aborts_by_getx += 1
+        # Comply: supply data when we are the owner, invalidate our copy.
+        line = self.l1.lookup(addr, touch=False)
+        if msg.terminal:
+            # Owner path: we hold E/M (or the line is in the writeback
+            # limbo buffer) and must supply data cache-to-cache.
+            if line is not None:
+                value = line.value
+                self.l1.invalidate(addr)
+            else:
+                value = self.wb_buffer[addr]
+            resp = Message(
+                MessageType.DATA_EXCL, addr, self.node, msg.requester,
+                requester=msg.requester, req_id=msg.req_id,
+                value=value, terminal=True, aborted=aborted,
+            )
+        else:
+            if line is not None:
+                self.l1.invalidate(addr)
+            resp = Message(
+                MessageType.ACK, addr, self.node, msg.requester,
+                requester=msg.requester, req_id=msg.req_id,
+                acks_expected=msg.acks_expected, aborted=aborted,
+            )
+        self.network.send(resp, extra_delay=1)
+
+    def _handle_fwd_gets(self, msg: Message) -> None:
+        addr = msg.addr
+        tx = self.tx
+        dec = check_fwd_gets(tx, addr, msg.tx)
+        if dec is Decision.NACK:
+            resp = Message(
+                MessageType.NACK, addr, self.node, msg.requester,
+                requester=msg.requester, req_id=msg.req_id,
+                terminal=True, t_est=self._notification(),
+            )
+            self.nstats.nacks_sent += 1
+            self.network.send(resp, extra_delay=1)
+            return
+        aborted = False
+        if dec is Decision.ACK_ABORT:
+            self._self_abort("gets_conflict")
+            aborted = True
+            if msg.tx is not None:
+                self.stats.aborts_by_gets += 1
+        line = self.l1.lookup(addr, touch=False)
+        if line is not None:
+            value = line.value
+            self.l1.downgrade(addr)
+        else:
+            value = self.wb_buffer[addr]
+        # Downgrade: fresh value to the home first (so it lands before
+        # the requester's UNBLOCK), then data to the requester.
+        wb = Message(MessageType.WB_DATA, addr, self.node,
+                     self.config.home_node(addr), requester=msg.requester,
+                     req_id=msg.req_id, value=value)
+        self.network.send(wb, extra_delay=1)
+        resp = Message(
+            MessageType.DATA, addr, self.node, msg.requester,
+            requester=msg.requester, req_id=msg.req_id,
+            value=value, terminal=True, aborted=aborted,
+        )
+        self.network.send(resp, extra_delay=1)

@@ -1,0 +1,13 @@
+"""On-chip interconnect substrate.
+
+Replaces Garnet: a 4x4 (configurable) 2D mesh with dimension-order
+routing.  Message latency is computed analytically from the DOR path
+(router pipeline + link per hop); traffic is accounted flit-accurately
+as *router traversals by flits*, the metric of Fig. 11.
+"""
+
+from repro.network.topology import Mesh
+from repro.network.message import Message, MessageType, CONTROL_TYPES, DATA_TYPES
+from repro.network.network import Network
+
+__all__ = ["Mesh", "Message", "MessageType", "CONTROL_TYPES", "DATA_TYPES", "Network"]

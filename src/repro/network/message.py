@@ -1,0 +1,142 @@
+"""Coherence message types, including the PUNO protocol extensions.
+
+The paper (Fig. 7) extends three messages:
+
+* ``GETX`` (and the forwarded invalidation) gains a **U-bit** marking a
+  PUNO unicast;
+* ``NACK`` gains a **notification field** (nacker's estimated remaining
+  run time, in cycles) and an **MP-bit** for misprediction feedback;
+* ``UNBLOCK`` gains an **MP-bit** and an **MP-node** field naming the
+  mispredicted unicast destination.
+
+All extensions fit in existing flits, so message flit counts do not
+change between the baseline and PUNO (also per the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+
+class MessageType(enum.Enum):
+    # requests to the home directory
+    GETS = "GETS"
+    GETX = "GETX"  # also covers S->M upgrades (needs_data=False)
+    PUT = "PUT"  # writeback of a dirty (M) line
+
+    # directory -> sharer/owner forwards
+    FWD_GETS = "FWD_GETS"
+    FWD_GETX = "FWD_GETX"  # doubles as the invalidation to S sharers
+
+    # responses
+    DATA = "DATA"  # data grant (shared)
+    DATA_EXCL = "DATA_EXCL"  # data grant (exclusive/modified)
+    GRANT = "GRANT"  # data-less exclusive grant (upgrade: requester has S)
+    ACK = "ACK"  # sharer invalidated (possibly after self-abort)
+    NACK = "NACK"  # conflict: request refused
+
+    # completion
+    UNBLOCK = "UNBLOCK"  # requester -> directory, releases the entry
+    PUT_ACK = "PUT_ACK"  # directory acknowledges a writeback
+    WB_DATA = "WB_DATA"  # owner -> directory data on downgrade
+
+
+# Flit sizing: data-bearing messages carry the 64 B line.
+DATA_TYPES: FrozenSet[MessageType] = frozenset(
+    {MessageType.DATA, MessageType.DATA_EXCL, MessageType.PUT, MessageType.WB_DATA}
+)
+CONTROL_TYPES: FrozenSet[MessageType] = frozenset(set(MessageType) - set(DATA_TYPES))
+
+
+@dataclass(frozen=True)
+class TxTag:
+    """Transactional identity carried by coherence requests.
+
+    ``timestamp`` is the time-based priority (smaller = older = higher
+    priority).  ``length_hint`` is the requesting node's current
+    static-transaction length estimate; directories fold it into their
+    adaptive rollover-timeout period (the paper's "hardware mechanism"
+    for average transaction length).
+    """
+
+    node: int
+    timestamp: int
+    static_id: int = -1
+    length_hint: int = 0
+
+    def older_than(self, other: "TxTag") -> bool:
+        """Strict priority order with node id tiebreak (total order)."""
+        return (self.timestamp, self.node) < (other.timestamp, other.node)
+
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One coherence message in flight."""
+
+    mtype: MessageType
+    addr: int
+    src: int
+    dst: int
+    # Identity of the original requester (survives forwarding).
+    requester: int = -1
+    # Correlates forwards/responses with the request being serviced.
+    req_id: int = -1
+    # Transaction tag of the requester (None for non-transactional).
+    tx: Optional[TxTag] = None
+    # Cache-line value payload for data-bearing messages.
+    value: int = 0
+    # DATA(_EXCL)/GRANT: how many ACK/NACK responses the requester must
+    # await; echoed on forwards so responders can relay it.
+    acks_expected: int = 0
+    # On forwards/responses: single-responder path (owner forward or
+    # PUNO unicast) where one response resolves the whole request.
+    terminal: bool = False
+    # On ACK: the sharer aborted a transaction to comply (false-abort
+    # classification input for Figs. 2-3).
+    aborted: bool = False
+    # On PUT: sticky writeback of a transactionally-read E line — the
+    # directory downgrades to Shared and keeps the evictor on the
+    # sharer list so conflict detection still reaches it (LogTM's
+    # sticky-S idiom).
+    sticky: bool = False
+    # On GETX/FWD_GETX: a lazy transaction's commit-time publication —
+    # committer-wins: transactional sharers always comply and abort
+    # (see repro.htm.lazy).
+    committing: bool = False
+    # UNBLOCK: whether the GETX succeeded, and which sharers nacked
+    # (they keep their copies; everyone else was invalidated).
+    success: bool = True
+    survivors: Tuple[int, ...] = ()
+    # --- PUNO extensions (Fig. 7) --------------------------------------
+    u_bit: bool = False  # on FWD_GETX: this is a unicast probe
+    t_est: int = -1  # on NACK: nacker's estimated remaining cycles
+    mp_bit: bool = False  # on NACK/UNBLOCK: misprediction feedback
+    mp_node: int = -1  # on UNBLOCK: the mispredicted destination
+    # bookkeeping
+    uid: int = field(default_factory=lambda: next(_msg_ids))
+
+    def flits(self, control_flits: int, data_flits: int) -> int:
+        return data_flits if self.mtype in DATA_TYPES else control_flits
+
+    @property
+    def is_transactional(self) -> bool:
+        return self.tx is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = ""
+        if self.u_bit:
+            extra += " U"
+        if self.mp_bit:
+            extra += " MP"
+        if self.t_est >= 0:
+            extra += f" Test={self.t_est}"
+        return (
+            f"<{self.mtype.value} addr={self.addr} {self.src}->{self.dst}"
+            f" req={self.requester}#{self.req_id}{extra}>"
+        )

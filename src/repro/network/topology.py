@@ -1,0 +1,68 @@
+"""2D mesh topology with dimension-order (X-then-Y) routing."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.sim.config import NetworkConfig
+
+
+class Mesh:
+    """Geometry and routing for a width x height mesh.
+
+    Node ids are row-major: node = y * width + x.  Routing is
+    deterministic X-then-Y (DOR), matching Table II.
+    """
+
+    def __init__(self, config: NetworkConfig):
+        self.config = config
+        self.width = config.mesh_width
+        self.height = config.mesh_height
+        self.num_nodes = config.num_nodes
+        self._avg_latency = config.avg_latency()
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        return self.config.coords(node)
+
+    def node_at(self, x: int, y: int) -> int:
+        return y * self.width + x
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """Ordered list of routers traversed, inclusive of endpoints.
+
+        X dimension is resolved first, then Y (dimension-order routing).
+        """
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        path = [src]
+        x, y = sx, sy
+        step = 1 if dx > x else -1
+        while x != dx:
+            x += step
+            path.append(self.node_at(x, y))
+        step = 1 if dy > y else -1
+        while y != dy:
+            y += step
+            path.append(self.node_at(x, y))
+        return path
+
+    def hops(self, src: int, dst: int) -> int:
+        return self.config.hops(src, dst)
+
+    def latency(self, src: int, dst: int) -> int:
+        return self.config.latency(src, dst)
+
+    def router_traversals(self, src: int, dst: int, flits: int) -> int:
+        return self.config.router_traversals(src, dst, flits)
+
+    @property
+    def avg_latency(self) -> float:
+        """Average end-to-end latency over distinct node pairs.
+
+        Used by PUNO's notification backoff: the paper subtracts twice
+        the average cache-to-cache latency from the nacker's estimated
+        remaining run time.
+        """
+        return self._avg_latency

@@ -1,0 +1,256 @@
+"""System configuration (Table II of the paper).
+
+All structural and timing parameters of the simulated CMP live here as
+frozen dataclasses.  The defaults reproduce Table II:
+
+    16 UltraSPARC-III+ class cores @ 1 GHz, 32 KB 4-way L1 (1 cycle),
+    8 MB shared L2 (20 cycles), MESI directory with static home-node
+    interleaving, 200-cycle memory, 4x4 2D mesh with DOR routing and
+    4-stage routers, 16-entry P-Buffer, 32-entry TxLB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Private L1 cache geometry and latency."""
+
+    size_bytes: int = 32 * 1024
+    ways: int = 4
+    line_bytes: int = 64
+    hit_latency: int = 1
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.ways
+
+    def set_index(self, line_addr: int) -> int:
+        """Map a line address (already line-granular) to its set."""
+        return line_addr % self.num_sets
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """2D mesh on-chip network timing and flit geometry.
+
+    The traffic metric of Fig. 11 is router traversals by flits, so the
+    model carries explicit control/data flit counts and counts one
+    traversal per flit per router visited (hops + 1).
+    """
+
+    mesh_width: int = 4
+    mesh_height: int = 4
+    router_latency: int = 4  # 4-stage router pipeline
+    link_latency: int = 1
+    control_flits: int = 1
+    data_flits: int = 5  # 64B line / 16B flit + head
+    # First-order stand-in for VC/queueing contention inside Garnet:
+    # every hop costs an extra ``load_factor`` cycles.
+    load_factor: int = 0
+
+    @property
+    def num_nodes(self) -> int:
+        return self.mesh_width * self.mesh_height
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        return node % self.mesh_width, node // self.mesh_width
+
+    def hops(self, src: int, dst: int) -> int:
+        """Dimension-order-routed hop count between two nodes."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def latency(self, src: int, dst: int) -> int:
+        """End-to-end message latency in cycles.
+
+        A message traverses ``hops`` links and ``hops + 1`` routers
+        (including injection/ejection pipelines); a local delivery still
+        pays one router traversal.
+        """
+        h = self.hops(src, dst)
+        per_hop = self.link_latency + self.load_factor
+        return (h + 1) * self.router_latency + h * per_hop
+
+    def router_traversals(self, src: int, dst: int, flits: int) -> int:
+        """Flit-traversal count for the Fig. 11 traffic metric."""
+        return flits * (self.hops(src, dst) + 1)
+
+    def avg_latency(self) -> float:
+        """Average latency between distinct node pairs (uniform)."""
+        n = self.num_nodes
+        total = 0
+        pairs = 0
+        for s in range(n):
+            for d in range(n):
+                if s == d:
+                    continue
+                total += self.latency(s, d)
+                pairs += 1
+        return total / pairs if pairs else 0.0
+
+
+@dataclass(frozen=True)
+class HTMConfig:
+    """Eager log-based HTM parameters (LogTM/FASTM-like baseline)."""
+
+    # Fixed requester backoff after a NACK in the baseline scheme.
+    nack_backoff: int = 20
+    # Restart delay after an abort (before contention-manager policy).
+    abort_base_cost: int = 40
+    # Undo-log restore cost per write-set entry (fast HW recovery).
+    abort_per_entry_cost: int = 4
+    # Cycles to publish a commit (clear sets, release isolation).
+    commit_cost: int = 5
+    # Cycles to set up a transaction at TX_BEGIN (checkpoint regs).
+    begin_cost: int = 5
+    # Random-backoff comparator: slot width and retry cap.
+    random_backoff_slot: int = 64
+    random_backoff_cap: int = 10
+    # RMW predictor comparator: entries per node.
+    rmw_entries: int = 256
+    # Give up and abort a transaction after this many consecutive nacked
+    # retries of one request (livelock escape hatch; generous).
+    max_retries: int = 10_000
+
+
+@dataclass(frozen=True)
+class PUNOConfig:
+    """PUNO hardware parameters (Section III)."""
+
+    enabled: bool = False
+    pbuffer_entries: int = 16  # one per node
+    txlb_entries: int = 32
+    # P-Buffer lookup + unicast decision latency at the directory.
+    predict_latency: int = 2  # 1 cycle access + 1 cycle compare
+    # Validity counter width: values 0..3; entries are usable for
+    # prediction only when validity > validity_threshold.
+    validity_max: int = 3
+    validity_threshold: int = 1
+    # Expected-lifetime staleness: a P-Buffer entry whose age exceeds
+    # lifetime_factor x its advertised transaction length is treated as
+    # stale (its transaction almost surely committed) — unless the
+    # entry was refreshed within recency_window cycles, which proves
+    # the transaction is still alive (it is polling).  <= 0 disables.
+    lifetime_factor: float = 2.0
+    recency_window: int = 512
+    # Cost/benefit gate: never unicast to a candidate whose advertised
+    # transaction length is below this (cycles).  A probe round trip
+    # costs on the order of 2 x the cache-to-cache latency, so nacking
+    # on behalf of transactions shorter than that cannot pay off —
+    # this is what keeps PUNO neutral on short-transaction workloads
+    # (kmeans/ssca2/genome).
+    min_nacker_length: int = 200
+    # Rollover-counter timeout adaptivity: period = clamp(avg_tx_len,
+    # min_timeout, max_timeout).  Disable adaptivity to ablate (A2).
+    adaptive_timeout: bool = True
+    min_timeout: int = 64
+    max_timeout: int = 1 << 20
+    fixed_timeout: int = 4096  # used when adaptive_timeout is False
+    # Rollover period = timeout_scale x average transaction length.
+    # The paper fixes the *signal* (average transaction length) but not
+    # the scale; larger values keep priorities usable longer (more
+    # unicast coverage) at the cost of more stale-entry mispredictions.
+    timeout_scale: float = 2.0
+    # Component toggles for the ablation study (A1).
+    unicast_enabled: bool = True
+    notification_enabled: bool = True
+    # Upper bound on one notified backoff (cycles).  T_est assumes the
+    # nacker runs to commit; under high contention nackers are often
+    # aborted early, so the requester re-validates at least this often
+    # instead of sleeping the nacker's whole advertised remaining time.
+    # Swept in ablation A6.
+    notification_cap: int = 256
+    # Replay-footprint nacking: a restarted attempt answers a unicast
+    # probe for a line its *previous* attempt touched as a true
+    # conflict (replay determinism guarantees it will touch it again).
+    prev_footprint_nack: bool = True
+    # Reader-epoch filter (ablation A5): restrict unicast candidates to
+    # sharers whose *current* transaction performed the read that put
+    # them on the sharer list (the adding request's timestamp still
+    # matches the node's P-Buffer priority).  Our synthetic workloads
+    # retain lines in L1 across transactions far more than real STAMP
+    # footprints would, so without this filter the UD pointer often
+    # names a sharer whose current transaction never read the line.
+    reader_epoch_filter: bool = True
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Top-level configuration bundle (Table II defaults)."""
+
+    num_nodes: int = 16
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    htm: HTMConfig = field(default_factory=HTMConfig)
+    puno: PUNOConfig = field(default_factory=PUNOConfig)
+    l2_latency: int = 20
+    memory_latency: int = 200
+    directory_latency: int = 2  # directory SRAM lookup
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.network.num_nodes != self.num_nodes:
+            raise ValueError(
+                f"mesh {self.network.mesh_width}x{self.network.mesh_height} "
+                f"!= num_nodes {self.num_nodes}"
+            )
+
+    def home_node(self, line_addr: int) -> int:
+        """Static address-interleaved home node (static NUCA banking)."""
+        return line_addr % self.num_nodes
+
+    def with_puno(self, **kwargs) -> "SystemConfig":
+        """Convenience: a copy with PUNO enabled (and optional overrides)."""
+        return replace(self, puno=replace(self.puno, enabled=True, **kwargs))
+
+    def describe(self) -> str:
+        """Render the Table II configuration block."""
+        rows = [
+            ("Core", f"{self.num_nodes} in-order cores, 1 IPC model"),
+            (
+                "L1 Cache",
+                f"{self.cache.size_bytes // 1024} KB, {self.cache.ways}-way, "
+                f"write-back, {self.cache.hit_latency}-cycle",
+            ),
+            ("L2 Cache", f"shared NUCA, {self.l2_latency}-cycle latency"),
+            ("Coherence", "MESI directory, static cache-bank interleaving"),
+            ("Memory", f"{self.memory_latency}-cycle latency"),
+            (
+                "Network",
+                f"{self.network.mesh_width}x{self.network.mesh_height} 2D mesh, "
+                f"DOR, {self.network.router_latency}-stage routers",
+            ),
+            (
+                "PUNO",
+                f"{self.puno.pbuffer_entries}-entry P-Buffer, "
+                f"{self.puno.txlb_entries}-entry TxLB"
+                + ("" if self.puno.enabled else " (disabled)"),
+            ),
+        ]
+        width = max(len(k) for k, _ in rows)
+        return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)
+
+
+def small_config(num_nodes: int = 4, seed: int = 1, **kwargs) -> SystemConfig:
+    """A reduced configuration for tests: tiny mesh, same protocol."""
+    import math
+
+    w = int(math.sqrt(num_nodes))
+    h = num_nodes // w
+    if w * h != num_nodes:
+        w, h = num_nodes, 1
+    return SystemConfig(
+        num_nodes=num_nodes,
+        network=NetworkConfig(mesh_width=w, mesh_height=h),
+        seed=seed,
+        **kwargs,
+    )

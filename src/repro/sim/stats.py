@@ -1,0 +1,217 @@
+"""Statistics collection.
+
+One :class:`Stats` object per run gathers every quantity the paper's
+evaluation reports:
+
+* transaction counts (started / committed / aborted, by cause),
+* transactional GETX classification for the false-aborting study
+  (Figs. 2 and 3),
+* network traffic in flit-router-traversals (Fig. 11),
+* directory blocked cycles while servicing transactional GETX (Fig. 12),
+* good vs discarded transactional cycles for the G/D ratio (Fig. 14),
+* PUNO-internal counters (unicasts, mispredictions, notifications).
+
+Everything is plain counters/histograms so post-processing stays in
+:mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Histogram:
+    """Sparse integer histogram with summary helpers."""
+
+    def __init__(self) -> None:
+        self.counts: Counter = Counter()
+
+    def add(self, value: int, weight: int = 1) -> None:
+        self.counts[int(value)] += weight
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def mean(self) -> float:
+        t = self.total
+        if t == 0:
+            return 0.0
+        return sum(v * c for v, c in self.counts.items()) / t
+
+    def max(self) -> int:
+        return max(self.counts) if self.counts else 0
+
+    def distribution(self) -> Dict[int, float]:
+        """value -> fraction of samples (the Fig. 3 series)."""
+        t = self.total
+        if t == 0:
+            return {}
+        return {v: c / t for v, c in sorted(self.counts.items())}
+
+    def cdf(self) -> Dict[int, float]:
+        t = self.total
+        out: Dict[int, float] = {}
+        acc = 0
+        for v in sorted(self.counts):
+            acc += self.counts[v]
+            out[v] = acc / t
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Histogram(n={self.total}, mean={self.mean():.2f})"
+
+
+@dataclass
+class NodeStats:
+    """Per-node transaction accounting."""
+
+    node: int
+    tx_started: int = 0  # dynamic instances begun (first begin only)
+    tx_attempts: int = 0  # begins including re-executions
+    tx_committed: int = 0
+    tx_aborted: int = 0
+    good_cycles: int = 0  # cycles inside attempts that committed
+    discarded_cycles: int = 0  # cycles inside attempts that aborted
+    backoff_cycles: int = 0
+    stall_cycles: int = 0  # waiting on nacked requests
+    nacks_received: int = 0
+    nacks_sent: int = 0
+    aborts_by_cause: Counter = field(default_factory=Counter)
+
+
+class Stats:
+    """Global run statistics."""
+
+    def __init__(self, num_nodes: int):
+        self.num_nodes = num_nodes
+        self.nodes: List[NodeStats] = [NodeStats(i) for i in range(num_nodes)]
+        # Optional repro.sim.trace.Tracer; components emit through this
+        # when set (one attribute check per hook when tracing is off).
+        self.tracer = None
+
+        # --- messages / network -------------------------------------
+        self.messages_by_type: Counter = Counter()
+        self.flit_router_traversals: int = 0  # Fig. 11 metric
+        self.flits_injected: int = 0
+
+        # --- coherence / directory ----------------------------------
+        self.dir_requests: Counter = Counter()
+        self.dir_blocked_cycles_txgetx: int = 0  # Fig. 12 metric
+        self.dir_blocked_cycles_total: int = 0
+        self.dir_blocked_events: int = 0
+        self.dir_queue_wait_cycles: int = 0
+        self.l2_misses: int = 0
+        self.writebacks: int = 0
+
+        # --- transactional GETX classification (Figs. 2, 3) ---------
+        self.tx_getx_total: int = 0
+        self.tx_getx_nacked: int = 0
+        self.tx_getx_granted: int = 0
+        self.tx_getx_false_aborting: int = 0
+        self.false_abort_victims: Histogram = Histogram()
+        self.aborts_by_getx: int = 0  # aborts triggered by tx GETX
+        self.aborts_by_gets: int = 0
+        # victim aborts by request outcome: "granted" kills are
+        # fundamental (the writer won), "false" kills happened under a
+        # request that was nacked anyway — the PUNO-preventable mass
+        self.granted_victims: int = 0
+        self.false_victims: int = 0
+
+        # --- PUNO ----------------------------------------------------
+        self.puno_unicasts: int = 0
+        self.puno_multicasts: int = 0
+        self.puno_mispredictions: int = 0
+        # misprediction causes (diagnosed at the unicast target)
+        self.puno_mp_no_conflict: int = 0  # target tx doesn't touch line
+        self.puno_mp_younger: int = 0  # target tx is younger than requester
+        self.puno_mp_no_tx: int = 0  # target has no active transaction
+        self.puno_correct_predictions: int = 0
+        self.puno_notifications: int = 0
+        self.puno_notified_backoff_cycles: int = 0
+        self.puno_pbuffer_updates: int = 0
+        self.puno_pbuffer_invalidations: int = 0
+        self.puno_timeouts: int = 0
+        # why predict_unicast declined (keys: no_tag, ud_none,
+        # ud_not_target, not_usable, epoch, requester_older, disabled)
+        self.puno_declines: Counter = Counter()
+
+        # --- RMW predictor -------------------------------------------
+        self.rmw_upgraded_loads: int = 0
+        self.rmw_trained: int = 0
+
+        # --- run-level ------------------------------------------------
+        self.execution_cycles: int = 0
+        self.capacity_aborts: int = 0
+
+    # ------------------------------------------------------------------
+    # aggregate helpers
+    # ------------------------------------------------------------------
+    @property
+    def tx_started(self) -> int:
+        return sum(n.tx_started for n in self.nodes)
+
+    @property
+    def tx_committed(self) -> int:
+        return sum(n.tx_committed for n in self.nodes)
+
+    @property
+    def tx_aborted(self) -> int:
+        return sum(n.tx_aborted for n in self.nodes)
+
+    @property
+    def tx_attempts(self) -> int:
+        return sum(n.tx_attempts for n in self.nodes)
+
+    @property
+    def good_cycles(self) -> int:
+        return sum(n.good_cycles for n in self.nodes)
+
+    @property
+    def discarded_cycles(self) -> int:
+        return sum(n.discarded_cycles for n in self.nodes)
+
+    def abort_rate(self) -> float:
+        """Aborted fraction of transaction attempts (Table I metric)."""
+        attempts = self.tx_attempts
+        return self.tx_aborted / attempts if attempts else 0.0
+
+    def gd_ratio(self) -> float:
+        """Good/discarded transactional cycles (Fig. 14 metric)."""
+        d = self.discarded_cycles
+        if d == 0:
+            return float("inf") if self.good_cycles > 0 else 0.0
+        return self.good_cycles / d
+
+    def false_aborting_fraction(self) -> float:
+        """Fraction of transactional GETX that incur false aborting
+        (Fig. 2 metric)."""
+        if self.tx_getx_total == 0:
+            return 0.0
+        return self.tx_getx_false_aborting / self.tx_getx_total
+
+    def prediction_accuracy(self) -> float:
+        """PUNO unicast-destination prediction hit rate."""
+        total = self.puno_correct_predictions + self.puno_mispredictions
+        return self.puno_correct_predictions / total if total else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of headline metrics (used by reports and sweeps)."""
+        return {
+            "execution_cycles": self.execution_cycles,
+            "tx_started": self.tx_started,
+            "tx_committed": self.tx_committed,
+            "tx_aborted": self.tx_aborted,
+            "abort_rate": self.abort_rate(),
+            "network_traffic": self.flit_router_traversals,
+            "dir_blocked_txgetx": self.dir_blocked_cycles_txgetx,
+            "good_cycles": self.good_cycles,
+            "discarded_cycles": self.discarded_cycles,
+            "gd_ratio": self.gd_ratio(),
+            "false_aborting_fraction": self.false_aborting_fraction(),
+            "tx_getx_total": self.tx_getx_total,
+            "tx_getx_nacked": self.tx_getx_nacked,
+            "prediction_accuracy": self.prediction_accuracy(),
+        }

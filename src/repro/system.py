@@ -1,0 +1,275 @@
+"""System assembly and run harness.
+
+``System`` wires the full CMP together — event engine, mesh network,
+one directory controller and one node controller per node, a contention
+manager, and (optionally) the PUNO units — runs a workload to
+completion, and returns a :class:`RunResult` with the statistics every
+experiment consumes.
+
+The module also provides coherence/atomicity *audits* used throughout
+the test suite: the single-writer/multi-reader invariant over all L1s
+and directories, and the value audit (the final memory image must equal
+exactly the committed increments).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.coherence.directory import DirectoryController
+from repro.coherence.states import DirState, L1State
+from repro.core.puno import DirectoryPUNO
+from repro.core.txlb import TxLB
+from repro.htm.contention import CM_REGISTRY
+from repro.htm.contention.base import ContentionManager
+from repro.htm.contention.puno_cm import PUNOBackoff
+from repro.htm.node import NodeController
+from repro.network.message import Message, MessageType
+from repro.network.network import Network
+from repro.network.topology import Mesh
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+from repro.sim.stats import Stats
+from repro.workloads.base import Workload
+
+# messages handled by the directory side of an endpoint
+_DIR_TYPES = frozenset({
+    MessageType.GETS, MessageType.GETX, MessageType.PUT,
+    MessageType.UNBLOCK, MessageType.WB_DATA,
+})
+
+
+class CoherenceViolation(AssertionError):
+    """Raised by audits when an invariant is broken."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run."""
+
+    stats: Stats
+    config: SystemConfig
+    workload_name: str
+    cm_name: str
+    wall_seconds: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, float]:
+        s = self.stats.summary()
+        s["wall_seconds"] = self.wall_seconds
+        return s
+
+
+class System:
+    """A fully-wired simulated CMP executing one workload."""
+
+    def __init__(self, config: SystemConfig, workload: Workload,
+                 cm: Union[str, ContentionManager] = "baseline",
+                 trace=None, sampler=None, node_cls=None):
+        if workload.num_nodes != config.num_nodes:
+            raise ValueError(
+                f"workload has {workload.num_nodes} programs for "
+                f"{config.num_nodes} nodes")
+        self.config = config
+        self.workload = workload
+        self.sim = Simulator()
+        self.stats = Stats(config.num_nodes)
+        self.stats.tracer = trace  # Optional[repro.sim.trace.Tracer]
+        self.sampler = sampler  # Optional[TimeSeriesSampler]
+        if sampler is not None:
+            sampler.attach(self.sim, self.stats)
+        self.mesh = Mesh(config.network)
+        self.network = Network(self.sim, self.mesh, self.stats)
+        self.rng = RngFactory(config.seed)
+
+        self.cm = self._make_cm(cm)
+        self.cm.sim = self.sim
+        self.punos: List[Optional[DirectoryPUNO]] = []
+        self.directories: List[DirectoryController] = []
+        self.nodes: List[NodeController] = []
+        self._done_count = 0
+        self._finished_at: Optional[int] = None
+
+        node_cls = node_cls or NodeController
+        node_extra = {}
+        if node_cls is not NodeController:
+            # lazy nodes share one commit token (see repro.htm.lazy)
+            from repro.htm.lazy import CommitToken, LazyNodeController
+            if issubclass(node_cls, LazyNodeController):
+                node_extra["commit_token"] = CommitToken()
+        for n in range(config.num_nodes):
+            puno = None
+            if config.puno.enabled:
+                puno = DirectoryPUNO(self.sim, config.num_nodes,
+                                     config.puno, self.stats)
+            self.punos.append(puno)
+            directory = DirectoryController(self.sim, n, config,
+                                            self.network, self.stats, puno)
+            self.directories.append(directory)
+            node = node_cls(
+                self.sim, n, config, self.network, self.stats, self.cm,
+                workload.programs[n], on_done=self._node_done,
+                txlb=TxLB(config.puno.txlb_entries), **node_extra,
+            )
+            self.nodes.append(node)
+            self.network.register(n, self._make_endpoint(directory, node))
+
+    # ------------------------------------------------------------------
+    def _make_cm(self, cm: Union[str, ContentionManager]) -> ContentionManager:
+        if isinstance(cm, ContentionManager):
+            return cm
+        rng = RngFactory(self.config.seed).stream(f"cm:{cm}")
+        if cm == "ats+puno":
+            # the paper argues proactive scheduling is complementary to
+            # PUNO; this composition lets benches test that claim
+            from repro.htm.contention.ats import ATSScheduler
+            inner = PUNOBackoff(self.config, self.stats, rng,
+                                avg_c2c=self.mesh.avg_latency)
+            return ATSScheduler(self.config, self.stats, rng, inner=inner)
+        cls = CM_REGISTRY.get(cm)
+        if cls is None:
+            raise KeyError(f"unknown contention manager {cm!r}; "
+                           f"choices: {sorted(CM_REGISTRY) + ['ats+puno']}")
+        if cls is PUNOBackoff:
+            return cls(self.config, self.stats, rng,
+                       avg_c2c=self.mesh.avg_latency)
+        return cls(self.config, self.stats, rng)
+
+    @staticmethod
+    def _make_endpoint(directory: DirectoryController,
+                       node: NodeController):
+        def endpoint(msg: Message) -> None:
+            if msg.mtype in _DIR_TYPES:
+                directory.receive(msg)
+            else:
+                node.receive(msg)
+        return endpoint
+
+    # ------------------------------------------------------------------
+    def _node_done(self, node: int) -> None:
+        self._done_count += 1
+        if self._done_count == self.config.num_nodes:
+            self._finished_at = self.sim.now
+            for puno in self.punos:
+                if puno is not None:
+                    puno.stop()
+            if self.sampler is not None:
+                self.sampler.stop()
+
+    def run(self, max_cycles: Optional[int] = None,
+            audit: bool = True) -> RunResult:
+        """Run the workload to completion and return statistics.
+
+        ``max_cycles`` is a watchdog: exceeding it raises, which keeps
+        broken configurations from spinning forever in tests.
+        """
+        t0 = time.perf_counter()
+        for node in self.nodes:
+            node.start()
+        # Run in bounded chunks so the watchdog can fire even while
+        # PUNO timeout timers keep the event heap non-empty.
+        chunk = 2_000_000
+        while True:
+            self.sim.run(max_events=chunk)
+            if self._finished_at is not None and self.sim.idle():
+                break
+            if self.sim.pending == 0:
+                break
+            if max_cycles is not None and self.sim.now > max_cycles:
+                raise RuntimeError(
+                    f"watchdog: {self.sim.now} cycles without completion "
+                    f"({self._done_count}/{self.config.num_nodes} nodes done)")
+        if self._finished_at is None:
+            raise RuntimeError("event heap drained before nodes finished")
+        self.stats.execution_cycles = self._finished_at
+        wall = time.perf_counter() - t0
+        if audit:
+            self.audit_coherence()
+            self.audit_values()
+        return RunResult(self.stats, self.config, self.workload.name,
+                         self.cm.name, wall)
+
+    # ==================================================================
+    # audits
+    # ==================================================================
+    def audit_coherence(self) -> None:
+        """Single-writer / multi-reader over every line in the system."""
+        holders: Dict[int, List] = {}
+        for node in self.nodes:
+            for line in node.l1.lines():
+                holders.setdefault(line.addr, []).append((node.node, line))
+        for directory in self.directories:
+            for addr, entry in directory.entries.items():
+                owners = [(n, l) for n, l in holders.get(addr, [])
+                          if l.state in (L1State.E, L1State.M)]
+                sharers = [(n, l) for n, l in holders.get(addr, [])
+                           if l.state is L1State.S]
+                if len(owners) > 1:
+                    raise CoherenceViolation(
+                        f"addr {addr}: multiple owners {owners}")
+                if owners and sharers:
+                    raise CoherenceViolation(
+                        f"addr {addr}: owner {owners} with sharers {sharers}")
+                if entry.state is DirState.M:
+                    holder_ids = {n for n, _ in owners}
+                    in_limbo = (entry.owner is not None and
+                                addr in self.nodes[entry.owner].wb_buffer)
+                    if entry.owner not in holder_ids and not in_limbo:
+                        raise CoherenceViolation(
+                            f"addr {addr}: dir owner {entry.owner} holds no "
+                            f"E/M copy")
+                if entry.state is DirState.S:
+                    if owners:
+                        raise CoherenceViolation(
+                            f"addr {addr}: dir says S but owners {owners}")
+                    holder_ids = {n for n, _ in sharers}
+                    if not holder_ids <= entry.sharers:
+                        raise CoherenceViolation(
+                            f"addr {addr}: S holders {holder_ids} not in "
+                            f"directory sharer list {entry.sharers}")
+                if entry.state is DirState.I and holders.get(addr):
+                    live = [h for h in holders[addr]
+                            if h[1].state is not L1State.I]
+                    if live:
+                        raise CoherenceViolation(
+                            f"addr {addr}: dir I but cached {live}")
+
+    def global_value(self, addr: int) -> int:
+        """The coherent value of a line (owner copy, else home copy)."""
+        home = self.directories[self.config.home_node(addr)]
+        entry = home.entries.get(addr)
+        if entry is None:
+            return 0
+        if entry.state is DirState.M and entry.owner is not None:
+            owner_node = self.nodes[entry.owner]
+            line = owner_node.l1.lookup(addr, touch=False)
+            if line is not None:
+                return line.value
+            if addr in owner_node.wb_buffer:
+                return owner_node.wb_buffer[addr]
+            raise CoherenceViolation(f"addr {addr}: owner copy missing")
+        return entry.value
+
+    def audit_values(self) -> None:
+        """Atomicity audit: memory == sum of committed increments."""
+        addrs = set()
+        for directory in self.directories:
+            addrs.update(directory.entries.keys())
+        total = sum(self.global_value(a) for a in addrs)
+        committed = sum(n.committed_increments for n in self.nodes)
+        if total != committed:
+            raise CoherenceViolation(
+                f"value audit failed: memory sum {total} != committed "
+                f"increments {committed}")
+
+
+def run_workload(config: SystemConfig, workload: Workload,
+                 cm: Union[str, ContentionManager] = "baseline",
+                 max_cycles: Optional[int] = None,
+                 audit: bool = True) -> RunResult:
+    """One-call convenience wrapper used by examples and benchmarks."""
+    return System(config, workload, cm).run(max_cycles=max_cycles,
+                                            audit=audit)

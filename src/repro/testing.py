@@ -1,0 +1,46 @@
+"""Testing utilities for driving protocol components in isolation.
+
+Shipped as part of the package so downstream users can unit-test
+protocol extensions the same way the bundled test suite does.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.network.message import Message
+from repro.sim.engine import Simulator
+from repro.sim.stats import Stats
+
+
+class RecordingNetwork:
+    """Network stand-in that records sends instead of delivering.
+
+    Drives a :class:`~repro.coherence.directory.DirectoryController` or
+    :class:`~repro.htm.node.NodeController` in isolation: the test
+    inspects ``sent`` and feeds responses back by hand, so it can
+    assert on the exact message choreography of each protocol flow.
+    """
+
+    def __init__(self, sim: Simulator, stats: Stats):
+        self.sim = sim
+        self.stats = stats
+        self.sent: List[Message] = []
+
+    def send(self, msg: Message, extra_delay: int = 0) -> None:
+        self.stats.messages_by_type[msg.mtype] += 1
+        self.sent.append(msg)
+
+    def pop(self, mtype=None) -> Message:
+        """Remove and return the first sent message (of a type)."""
+        for i, m in enumerate(self.sent):
+            if mtype is None or m.mtype is mtype:
+                return self.sent.pop(i)
+        raise AssertionError(f"no sent message of type {mtype}; "
+                             f"have {self.sent}")
+
+    def of_type(self, mtype) -> List[Message]:
+        return [m for m in self.sent if m.mtype is mtype]
+
+    def clear(self) -> None:
+        self.sent.clear()

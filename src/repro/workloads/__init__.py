@@ -1,0 +1,38 @@
+"""Workload generation.
+
+The paper evaluates on the eight STAMP applications.  Those are C
+programs run under full-system simulation; here each is replaced by a
+synthetic generator (:mod:`repro.workloads.stamp`) that preserves the
+app's *contention structure* — transaction length, read/write set
+sizes and overlap, read-sharing degree, RMW-ness, and the resulting
+baseline abort rate (calibrated against Table I).
+
+:mod:`repro.workloads.synthetic` adds parameterized microbenchmarks
+with explicit contention knobs, used by the examples and ablations.
+"""
+
+from repro.workloads.base import (
+    TxOp,
+    TxInstance,
+    NonTxOp,
+    Gap,
+    Program,
+    Workload,
+)
+from repro.workloads.generator import AddressSpace, SharedRegion
+from repro.workloads.stamp import STAMP_WORKLOADS, make_stamp_workload
+from repro.workloads.synthetic import make_synthetic_workload
+
+__all__ = [
+    "TxOp",
+    "TxInstance",
+    "NonTxOp",
+    "Gap",
+    "Program",
+    "Workload",
+    "AddressSpace",
+    "SharedRegion",
+    "STAMP_WORKLOADS",
+    "make_stamp_workload",
+    "make_synthetic_workload",
+]

@@ -1,0 +1,115 @@
+"""Static workload characterization.
+
+Computes, without simulating, the structural properties the STAMP
+analogues are supposed to preserve (DESIGN.md): transaction length
+distribution, read/write set sizes, RMW-ness, sharing degree, and
+write-partition overlap.  Used by tests to pin the generators'
+contracts and by users to understand a workload before running it.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.workloads.base import Gap, NonTxOp, TxInstance, Workload
+
+
+@dataclass
+class Characterization:
+    """Structural summary of one workload."""
+
+    name: str
+    instances: int = 0
+    ops: int = 0
+    reads_per_tx: List[int] = field(default_factory=list)
+    writes_per_tx: List[int] = field(default_factory=list)
+    think_per_tx: List[int] = field(default_factory=list)
+    # addr -> set of nodes that ever read / write it
+    readers: Dict[int, Set[int]] = field(
+        default_factory=lambda: defaultdict(set))
+    writers: Dict[int, Set[int]] = field(
+        default_factory=lambda: defaultdict(set))
+    rmw_pairs: int = 0  # ops that read-then-write the same line in a tx
+    static_ids: Counter = field(default_factory=Counter)
+
+    # ------------------------------------------------------------------
+    def read_set_mean(self) -> float:
+        return statistics.mean(self.reads_per_tx) if self.reads_per_tx else 0
+
+    def write_set_mean(self) -> float:
+        return (statistics.mean(self.writes_per_tx)
+                if self.writes_per_tx else 0)
+
+    def sharing_degree(self) -> float:
+        """Mean number of distinct reader nodes per *written* line —
+        the false-aborting driver (victims per invalidation)."""
+        written = [a for a, w in self.writers.items() if w]
+        if not written:
+            return 0.0
+        return statistics.mean(len(self.readers[a]) for a in written)
+
+    def write_overlap(self) -> float:
+        """Fraction of written lines written by more than one node —
+        the write-write conflict (PUNO-immune) share."""
+        written = [a for a, w in self.writers.items() if w]
+        if not written:
+            return 0.0
+        multi = sum(1 for a in written if len(self.writers[a]) > 1)
+        return multi / len(written)
+
+    def rmw_fraction(self) -> float:
+        """Fraction of transactions containing a load-then-store pair
+        to the same line (what the RMW predictor exploits)."""
+        if self.instances == 0:
+            return 0.0
+        return self.rmw_pairs / self.instances
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "instances": self.instances,
+            "ops": self.ops,
+            "reads_per_tx": round(self.read_set_mean(), 2),
+            "writes_per_tx": round(self.write_set_mean(), 2),
+            "sharing_degree": round(self.sharing_degree(), 2),
+            "write_overlap": round(self.write_overlap(), 3),
+            "rmw_fraction": round(self.rmw_fraction(), 3),
+            "static_txs": len(self.static_ids),
+        }
+
+
+def characterize(workload: Workload) -> Characterization:
+    """Walk a workload's programs and summarize their structure."""
+    c = Characterization(workload.name)
+    for node, program in enumerate(workload.programs):
+        for item in program:
+            if isinstance(item, TxInstance):
+                c.instances += 1
+                c.static_ids[item.static_id] += 1
+                reads: Set[int] = set()
+                writes: Set[int] = set()
+                think = 0
+                has_rmw = False
+                for op in item.ops:
+                    c.ops += 1
+                    think += op.think
+                    if op.is_write:
+                        if op.addr in reads:
+                            has_rmw = True
+                        writes.add(op.addr)
+                        c.writers[op.addr].add(node)
+                    else:
+                        reads.add(op.addr)
+                        c.readers[op.addr].add(node)
+                c.reads_per_tx.append(len(reads))
+                c.writes_per_tx.append(len(writes))
+                c.think_per_tx.append(think)
+                if has_rmw:
+                    c.rmw_pairs += 1
+            elif isinstance(item, NonTxOp):
+                c.ops += 1
+            elif isinstance(item, Gap):
+                pass
+    return c

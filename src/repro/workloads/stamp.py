@@ -1,0 +1,434 @@
+"""STAMP-analogue workload generators.
+
+The paper evaluates on the eight STAMP applications (Table I).  Running
+the real C programs requires the full-system simulator we replaced, so
+each app is substituted by a synthetic generator that preserves the
+properties the evaluation depends on:
+
+* transaction *length* (op count / think time),
+* read/write *set sizes* and their overlap,
+* the *read-sharing degree* (how many concurrent readers a written
+  line has — the false-aborting driver),
+* *RMW-ness* (whether loads start load-then-store sequences — what the
+  RMW predictor exploits or mis-exploits),
+* and the resulting baseline *abort rate*, calibrated against Table I.
+
+Every generator documents which structural property of the real app it
+preserves.  High-contention members of the suite (Bayes, Intruder,
+Labyrinth, Yada — per the paper's grouping) are flagged so experiments
+can report the high-contention averages the paper quotes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.sim.rng import RngFactory
+from repro.workloads.base import Gap, Program, TxInstance, TxOp, Workload
+from repro.workloads.generator import (
+    AddressSpace,
+    SharedRegion,
+    read_ops,
+    rmw_ops,
+    write_ops,
+)
+
+
+@dataclass(frozen=True)
+class StampMeta:
+    """Registry entry: generator + paper-facing metadata."""
+
+    name: str
+    builder: Callable[..., Workload]
+    high_contention: bool
+    paper_input: str  # Table I input parameters
+    paper_abort_pct: float  # Table I baseline abort %
+
+
+def _mk_programs(num_nodes: int, instances: int, rng_factory: RngFactory,
+                 make_items: Callable[[int, int, random.Random], List],
+                 ) -> List[Program]:
+    programs: List[Program] = []
+    for n in range(num_nodes):
+        rng = rng_factory.stream(f"node{n}")
+        prog: Program = []
+        for i in range(instances):
+            prog.extend(make_items(n, i, rng))
+        programs.append(prog)
+    return programs
+
+
+# =====================================================================
+# High-contention applications
+# =====================================================================
+
+def bayes(num_nodes: int = 16, scale: float = 1.0, seed: int = 7) -> Workload:
+    """Bayesian-network structure learning.
+
+    Real app: three kinds of learner transactions — compute-heavy
+    *score evaluations* that read large parts of the shared dependency
+    graph for a long time, quick *queries* of a few graph entries, and
+    *edge updates* that rewrite the adjacency of the variables the
+    thread owns; nearly every transaction conflicts (97.1% baseline
+    aborts).  Preserved structure: long read-only scanners act as
+    persistent nackers of the updaters, whose baseline polling then
+    repeatedly kills the short queries — the false-aborting pathology
+    at its worst; write sets stay in per-thread partitions so
+    write-write conflicts are rare, as in the real app.
+    """
+    rf = RngFactory(seed)
+    space = AddressSpace()
+    graph = space.region(96, "graph")
+    slice_sz = graph.size // num_nodes
+    instances = max(6, int(30 * scale))
+
+    def items(node: int, i: int, rng: random.Random) -> List:
+        myvars = graph.slice(node * slice_sz, slice_sz)
+        r = i % 10
+        if r < 2:
+            # score evaluation: long read-only scan (heavy compute)
+            static_id = 0
+            reads = graph.pick_distinct(rng, rng.randint(25, 40))
+            ops = read_ops(reads, 6, 0)
+        elif r < 8:
+            # query: short read-only probe
+            static_id = 1
+            reads = graph.pick_distinct(rng, rng.randint(4, 7))
+            ops = read_ops(reads, 1, 1000)
+        else:
+            # edge update: read a neighbourhood, rewrite own variables
+            static_id = 2
+            pc = 2000
+            reads = graph.pick_distinct(rng, rng.randint(5, 8))
+            ops = read_ops(reads, 2, pc)
+            ops += write_ops(myvars.pick_distinct(rng, rng.randint(2, 3)), 2,
+                             pc + 100)
+        return [TxInstance(static_id, ops, i), Gap(rng.randint(10, 30))]
+
+    progs = _mk_programs(num_nodes, instances, rf, items)
+    return Workload("bayes", progs, num_static_txs=3,
+                    description=bayes.__doc__ or "",
+                    params={"graph_lines": graph.size,
+                            "instances_per_node": instances})
+
+
+def intruder(num_nodes: int = 16, scale: float = 1.0,
+             seed: int = 11) -> Workload:
+    """Network intrusion detection.
+
+    Real app: packet dequeues walk a shared fragment tree (red-black
+    tree: everyone reads the root path, relinks lower nodes), flow
+    reassembly consults shared session state, and a long detector pass
+    sweeps it for attack signatures (77.6% baseline aborts).  Preserved
+    structure: tree dequeues whose root is read-shared by every thread
+    (so eager upgrades of tree nodes disrupt all concurrent walkers —
+    exactly what defeats the RMW predictor here); reassembly writes in
+    per-thread session/flow partitions; long read-only detector sweeps
+    as persistent nackers."""
+    rf = RngFactory(seed)
+    space = AddressSpace()
+    # The packet queue is a fragment tree: every dequeue reads the root
+    # path and relinks a couple of lower nodes.
+    tree = space.region(12, "fragment-tree")
+    sessions = space.region(64, "sessions")
+    flowmap = space.region(192, "flowmap")
+    slice_sz = flowmap.size // num_nodes
+    instances = max(4, int(28 * scale))
+
+    def items(node: int, i: int, rng: random.Random) -> List:
+        mysessions = sessions.slice(node * (sessions.size // num_nodes),
+                                    sessions.size // num_nodes)
+        out: List = []
+        # static tx 0: dequeue — root-path reads, lower-node relinks
+        reads = [tree.base] + tree.slice(1, tree.size - 1).pick_distinct(
+            rng, 2)
+        writes = tree.slice(2, tree.size - 2).pick_distinct(
+            rng, rng.randint(1, 2))
+        out.append(TxInstance(0, read_ops(reads, 1, 0)
+                              + write_ops(writes, 1, 40), i))
+        out.append(Gap(rng.randint(5, 15)))
+        r = i % 10
+        if r < 2:
+            # static tx 3: detector — long read-only sweep over the
+            # session state (the persistent nacker population)
+            reads = sessions.pick_distinct(rng, rng.randint(18, 30))
+            out.append(TxInstance(3, read_ops(reads, 5, 3000), i))
+        elif r < 8:
+            # static tx 1: decode — short lookup of a few sessions
+            reads = sessions.pick_distinct(rng, rng.randint(3, 6))
+            out.append(TxInstance(1, read_ops(reads, 1, 1000), i))
+        else:
+            # static tx 2: reassemble — read shared session state,
+            # update this thread's own sessions and flow slots
+            pc = 2000
+            ops = read_ops(sessions.pick_distinct(rng, rng.randint(4, 7)),
+                           2, pc)
+            ops += write_ops(mysessions.pick_distinct(rng,
+                                                      rng.randint(1, 2)),
+                             2, pc + 100)
+            ops += write_ops([flowmap.slice(
+                node * slice_sz, slice_sz).pick(rng)], 2, pc + 200)
+            out.append(TxInstance(2, ops, i))
+        out.append(Gap(rng.randint(10, 30)))
+        return out
+
+    progs = _mk_programs(num_nodes, instances, rf, items)
+    return Workload("intruder", progs, num_static_txs=3,
+                    description=intruder.__doc__ or "",
+                    params={"tree_lines": tree.size,
+                            "instances_per_node": instances})
+
+
+def labyrinth(num_nodes: int = 16, scale: float = 1.0,
+              seed: int = 13) -> Workload:
+    """Maze routing (Lee's algorithm).
+
+    Real app: "transactions read in the entire global maze grid and
+    write to a small portion of the grid" (Section IV-D) — the extreme
+    read-sharing case that drives both false aborting and directory
+    blocking (98.6% baseline aborts).  Preserved structure: very large
+    read sets over one grid; each router claims cells for its own path,
+    which rarely collides with other paths (mostly read-write, not
+    write-write, conflicts)."""
+    rf = RngFactory(seed)
+    space = AddressSpace()
+    grid = space.region(96, "grid")
+    slice_sz = grid.size // num_nodes
+    instances = max(2, int(6 * scale))
+
+    def items(node: int, i: int, rng: random.Random) -> List:
+        static_id = 0  # one static transaction: route one path
+        pc = 0
+        mycells = grid.slice(node * slice_sz, slice_sz)
+        reads = grid.pick_distinct(rng, rng.randint(40, 60))
+        path = mycells.pick_distinct(rng, rng.randint(3, 5))
+        ops = read_ops(reads, 1, pc) + write_ops(path, 2, pc + 500)
+        return [TxInstance(static_id, ops, i), Gap(rng.randint(10, 30))]
+
+    progs = _mk_programs(num_nodes, instances, rf, items)
+    return Workload("labyrinth", progs, num_static_txs=1,
+                    description=labyrinth.__doc__ or "",
+                    params={"grid_lines": grid.size,
+                            "instances_per_node": instances})
+
+
+def yada(num_nodes: int = 16, scale: float = 1.0, seed: int = 17) -> Workload:
+    """Delaunay mesh refinement.
+
+    Real app: transactions grow a cavity around a bad triangle (reads
+    neighbouring elements, including ones other workers are reading)
+    and re-triangulate the triangles they claimed; moderate-high
+    contention (47.9% baseline aborts).  Preserved structure: medium
+    read sets over a shared mesh, writes mostly in a per-worker claim
+    region with occasional genuine cavity collisions."""
+    rf = RngFactory(seed)
+    space = AddressSpace()
+    mesh = space.region(160, "mesh")
+    slice_sz = mesh.size // num_nodes
+    instances = max(3, int(18 * scale))
+
+    def items(node: int, i: int, rng: random.Random) -> List:
+        mine = mesh.slice(node * slice_sz, slice_sz)
+        r = i % 10
+        if r < 2:
+            # large cavity: a long expansion walk over the mesh before
+            # re-triangulating — the persistent nacker population
+            static_id = 0
+            cavity = mesh.pick_distinct(rng, rng.randint(20, 32))
+            ops = read_ops(cavity, 5, 0)
+            ops += write_ops(mine.pick_distinct(rng, 2), 3, 500)
+        elif r < 6:
+            # point location: a short read-only walk toward the next
+            # bad triangle
+            static_id = 2
+            ops = read_ops(mesh.pick_distinct(rng, rng.randint(3, 6)),
+                           1, 2000)
+        else:
+            static_id = 1
+            pc = 1000
+            cavity = mesh.pick_distinct(rng, rng.randint(6, 10))
+            ops = read_ops(cavity, 2, pc + 50)
+            # re-triangulation: mostly own claims, occasional boundary
+            # collisions with a neighbouring worker's cavity
+            writes = mine.pick_distinct(rng, rng.randint(1, 3))
+            if rng.random() < 0.2:
+                writes = writes + [mesh.pick(rng)]
+            ops += write_ops(writes, 2, pc + 200)
+        return [TxInstance(static_id, ops, i), Gap(rng.randint(20, 60))]
+
+    progs = _mk_programs(num_nodes, instances, rf, items)
+    return Workload("yada", progs, num_static_txs=2,
+                    description=yada.__doc__ or "",
+                    params={"mesh_lines": mesh.size,
+                            "instances_per_node": instances})
+
+
+# =====================================================================
+# Low/moderate-contention applications
+# =====================================================================
+
+def genome(num_nodes: int = 16, scale: float = 1.0,
+           seed: int = 19) -> Workload:
+    """Gene sequencing.
+
+    Real app: deduplicates segments into a large hash table, then
+    string-matches; conflicts are rare because the table is huge (1.3%
+    baseline aborts).  Preserved structure: small transactions, reads
+    over shared segments, writes scattered over a large table."""
+    rf = RngFactory(seed)
+    space = AddressSpace()
+    segments = space.region(512, "segments")
+    table = space.region(200, "hashtable")
+    index = space.region(16, "dedup-index")
+    instances = max(4, int(30 * scale))
+
+    def items(node: int, i: int, rng: random.Random) -> List:
+        static_id = i % 2
+        pc = static_id * 1000
+        ops: List[TxOp] = []
+        ops += read_ops(segments.pick_distinct(rng, rng.randint(3, 6)), 2, pc)
+        ops += write_ops([table.pick(rng) for _ in range(rng.randint(1, 2))],
+                         2, pc + 50)
+        if rng.random() < 0.30:  # occasional dedup-index bump
+            ops += rmw_ops([index.pick(rng)], 2, pc + 90)
+        return [TxInstance(static_id, ops, i), Gap(rng.randint(20, 60))]
+
+    progs = _mk_programs(num_nodes, instances, rf, items)
+    return Workload("genome", progs, num_static_txs=2,
+                    description=genome.__doc__ or "",
+                    params={"table_lines": table.size,
+                            "instances_per_node": instances})
+
+
+def kmeans(num_nodes: int = 16, scale: float = 1.0,
+           seed: int = 23) -> Workload:
+    """K-means clustering.
+
+    Real app: short transactions accumulate a point into its cluster
+    centroid — the canonical read-modify-write pattern the RMW
+    predictor was built for; low contention (7.4% baseline aborts).
+    Preserved structure: 1-centroid RMW transactions over a centroid
+    array larger than the core count, with private point reads."""
+    rf = RngFactory(seed)
+    space = AddressSpace()
+    centroids = space.region(40, "centroids")
+    points = space.private_regions(num_nodes, 64, "points")
+    instances = max(6, int(60 * scale))
+
+    def items(node: int, i: int, rng: random.Random) -> List:
+        static_id = 0
+        pc = 0
+        ops: List[TxOp] = []
+        ops += read_ops([points[node].pick(rng) for _ in range(2)], 1, pc + 50)
+        ops += rmw_ops([centroids.pick(rng)], 1, pc)
+        return [TxInstance(static_id, ops, i), Gap(rng.randint(10, 30))]
+
+    progs = _mk_programs(num_nodes, instances, rf, items)
+    return Workload("kmeans", progs, num_static_txs=1,
+                    description=kmeans.__doc__ or "",
+                    params={"centroid_lines": centroids.size,
+                            "instances_per_node": instances})
+
+
+def ssca2(num_nodes: int = 16, scale: float = 1.0, seed: int = 29) -> Workload:
+    """Scalable Synthetic Compact Applications 2 (graph kernels).
+
+    Real app: tiny transactions add edges to a huge adjacency
+    structure; conflicts are nearly nonexistent (0.3% baseline aborts).
+    Preserved structure: 1-2 RMW ops spread over a very large region."""
+    rf = RngFactory(seed)
+    space = AddressSpace()
+    adjacency = space.region(4096, "adjacency")
+    instances = max(8, int(80 * scale))
+
+    def items(node: int, i: int, rng: random.Random) -> List:
+        static_id = 0
+        pc = 0
+        k = rng.randint(1, 2)
+        ops = rmw_ops([adjacency.pick(rng) for _ in range(k)], 1, pc)
+        return [TxInstance(static_id, ops, i), Gap(rng.randint(5, 20))]
+
+    progs = _mk_programs(num_nodes, instances, rf, items)
+    return Workload("ssca2", progs, num_static_txs=1,
+                    description=ssca2.__doc__ or "",
+                    params={"adjacency_lines": adjacency.size,
+                            "instances_per_node": instances})
+
+
+def vacation(num_nodes: int = 16, scale: float = 1.0,
+             seed: int = 31) -> Workload:
+    """Travel reservation system (OLTP-like).
+
+    Real app: transactions look up several reservation-table rows and
+    update a few; moderate contention concentrated on popular rows
+    (38% baseline aborts).  Preserved structure: medium read sets over
+    a large table with writes skewed toward a hot subset."""
+    rf = RngFactory(seed)
+    space = AddressSpace()
+    table = space.region(512, "reservations")
+    hot = table.slice(0, 6, "hot-rows")
+    instances = max(4, int(24 * scale))
+
+    def items(node: int, i: int, rng: random.Random) -> List:
+        static_id = i % 3
+        pc = static_id * 1000
+        reads = table.pick_distinct(rng, rng.randint(6, 10))
+        ops = read_ops(reads, 2, pc)
+        # 60% of updates hit the hot rows (paper input: 60% coverage)
+        wr = [hot.pick(rng) if rng.random() < 0.6 else table.pick(rng)
+              for _ in range(rng.randint(2, 3))]
+        ops += write_ops(wr, 2, pc + 100)
+        return [TxInstance(static_id, ops, i), Gap(rng.randint(15, 45))]
+
+    progs = _mk_programs(num_nodes, instances, rf, items)
+    return Workload("vacation", progs, num_static_txs=3,
+                    description=vacation.__doc__ or "",
+                    params={"table_lines": table.size,
+                            "instances_per_node": instances})
+
+
+# =====================================================================
+# registry
+# =====================================================================
+
+STAMP_WORKLOADS: Dict[str, StampMeta] = {
+    "bayes": StampMeta("bayes", bayes, True,
+                       "32 var, 1024 records, 2 edge/var", 97.1),
+    "intruder": StampMeta("intruder", intruder, True,
+                          "2k flow, 10 attack, 4 pkt/flow", 77.6),
+    "labyrinth": StampMeta("labyrinth", labyrinth, True,
+                           "32*32*3 maze, 96 paths", 98.6),
+    "yada": StampMeta("yada", yada, True,
+                      "1264 elements, min-angle 20", 47.9),
+    "genome": StampMeta("genome", genome, False,
+                        "32 var, 1024 records", 1.3),
+    "kmeans": StampMeta("kmeans", kmeans, False,
+                        "16K seg. 256 gene. 16 sample", 7.4),
+    "ssca2": StampMeta("ssca2", ssca2, False,
+                       "8k nodes, 3 len, 3 para edge", 0.3),
+    "vacation": StampMeta("vacation", vacation, False,
+                          "16K record. 4K req. 60% coverage", 38.0),
+}
+
+HIGH_CONTENTION = tuple(
+    m.name for m in STAMP_WORKLOADS.values() if m.high_contention
+)
+
+
+def make_stamp_workload(name: str, num_nodes: int = 16, scale: float = 1.0,
+                        seed: int = 0) -> Workload:
+    """Build one STAMP analogue by name.
+
+    ``seed`` perturbs the generator's default seed so experiments can
+    average over instances; ``scale`` scales per-node instance counts.
+    """
+    meta = STAMP_WORKLOADS.get(name)
+    if meta is None:
+        raise KeyError(f"unknown STAMP workload {name!r}; "
+                       f"choices: {sorted(STAMP_WORKLOADS)}")
+    base_seed = {"bayes": 7, "intruder": 11, "labyrinth": 13, "yada": 17,
+                 "genome": 19, "kmeans": 23, "ssca2": 29, "vacation": 31}
+    return meta.builder(num_nodes=num_nodes, scale=scale,
+                        seed=base_seed[name] + seed * 101)

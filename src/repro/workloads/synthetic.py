@@ -1,0 +1,123 @@
+"""Parameterized microbenchmarks with explicit contention knobs.
+
+Used by examples, ablations and property tests: unlike the STAMP
+analogues these expose the contention drivers directly —
+
+* ``shared_lines``: size of the contended region (smaller = hotter),
+* ``tx_reads`` / ``tx_writes``: set sizes,
+* ``write_in_read_set``: whether writes land in lines the transaction
+  (and hence its peers) read — the false-aborting driver,
+* ``rmw``: read-modify-write idiom instead of separate phases,
+* ``think`` / ``gap``: transaction length and spacing,
+* ``writer_fraction`` / ``scanner_fraction``: population mix — the
+  false-aborting pathology needs *asymmetry* (short read-only
+  transactions killed while a long reader nacks a polling writer), so
+  these knobs turn some instances into read-only transactions and some
+  into long read-only scanners.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.sim.rng import RngFactory
+from repro.workloads.base import Gap, Program, TxInstance, TxOp, Workload
+from repro.workloads.generator import (
+    AddressSpace,
+    read_ops,
+    rmw_ops,
+    write_ops,
+)
+
+
+def make_synthetic_workload(
+    num_nodes: int = 16,
+    instances: int = 20,
+    shared_lines: int = 64,
+    tx_reads: int = 8,
+    tx_writes: int = 2,
+    write_in_read_set: bool = True,
+    rmw: bool = False,
+    think: int = 2,
+    gap: int = 40,
+    writer_fraction: float = 1.0,
+    scanner_fraction: float = 0.0,
+    partition_writes: bool = False,
+    seed: int = 3,
+    name: str = "synthetic",
+) -> Workload:
+    """Build a contention microbenchmark with up to three static
+    transactions: writers (id 0), short readers (id 1) and long
+    read-only scanners (id 2)."""
+    if tx_writes > tx_reads and write_in_read_set:
+        raise ValueError("cannot write more lines than were read")
+    if not 0.0 <= writer_fraction <= 1.0:
+        raise ValueError("writer_fraction must be in [0, 1]")
+    if not 0.0 <= scanner_fraction <= 1.0 - writer_fraction:
+        raise ValueError("scanner_fraction + writer_fraction must be <= 1")
+    rf = RngFactory(seed)
+    space = AddressSpace()
+    shared = space.region(shared_lines, "shared")
+    slice_sz = max(1, shared_lines // num_nodes)
+
+    programs: List[Program] = []
+    for n in range(num_nodes):
+        rng = rf.stream(f"node{n}")
+        mine = shared.slice(min(n * slice_sz, shared_lines - slice_sz),
+                            slice_sz)
+        prog: Program = []
+        for i in range(instances):
+            ops: List[TxOp] = []
+            roll = rng.random()
+            if roll < writer_fraction:
+                static_id = 0
+                if rmw:
+                    region = mine if partition_writes else shared
+                    addrs = region.pick_distinct(rng, max(tx_writes, 1))
+                    ops += rmw_ops(addrs, think, 0)
+                    extra = tx_reads - len(addrs)
+                    if extra > 0:
+                        ops += read_ops(shared.pick_distinct(rng, extra),
+                                        think, 100)
+                else:
+                    reads = shared.pick_distinct(rng, tx_reads)
+                    ops += read_ops(reads, think, 0)
+                    if tx_writes:
+                        if partition_writes:
+                            wr = mine.pick_distinct(rng, tx_writes)
+                        elif write_in_read_set:
+                            wr = rng.sample(reads,
+                                            min(tx_writes, len(reads)))
+                        else:
+                            wr = shared.pick_distinct(rng, tx_writes)
+                        ops += write_ops(wr, think, 500)
+            elif roll < writer_fraction + scanner_fraction:
+                # long read-only scanner: the persistent nacker
+                static_id = 2
+                k = min(shared_lines, 4 * tx_reads)
+                ops += read_ops(shared.pick_distinct(rng, k),
+                                3 * think, 2000)
+            else:
+                # short read-only transaction: the false-abort victim
+                static_id = 1
+                ops += read_ops(shared.pick_distinct(rng, tx_reads),
+                                max(1, think // 2), 1000)
+            prog.append(TxInstance(static_id, ops, i))
+            if gap:
+                prog.append(Gap(rng.randint(max(1, gap // 2), gap)))
+        programs.append(prog)
+
+    return Workload(
+        name, programs,
+        num_static_txs=1 if writer_fraction >= 1.0 else 3,
+        description="synthetic contention microbenchmark",
+        params={
+            "shared_lines": shared_lines, "tx_reads": tx_reads,
+            "tx_writes": tx_writes, "write_in_read_set": write_in_read_set,
+            "rmw": rmw, "instances": instances,
+            "writer_fraction": writer_fraction,
+            "scanner_fraction": scanner_fraction,
+            "partition_writes": partition_writes,
+        },
+    )

@@ -1,0 +1,144 @@
+"""Tests for the L1 cache model."""
+
+import pytest
+
+from repro.coherence.cache import CacheLine, CapacityError, L1Cache
+from repro.coherence.states import L1State
+from repro.sim.config import CacheConfig
+
+
+@pytest.fixture
+def tiny():
+    """2 sets x 2 ways, so eviction is easy to trigger."""
+    return L1Cache(CacheConfig(size_bytes=4 * 64, ways=2))
+
+
+def test_install_and_lookup(tiny):
+    line, evicted = tiny.install(0, L1State.S, 7)
+    assert evicted is None
+    got = tiny.lookup(0)
+    assert got is line and got.value == 7 and got.state is L1State.S
+
+
+def test_miss_returns_none(tiny):
+    assert tiny.lookup(42) is None
+
+
+def test_update_in_place(tiny):
+    tiny.install(0, L1State.S, 1)
+    line, evicted = tiny.install(0, L1State.M, 2)
+    assert evicted is None
+    assert line.state is L1State.M and line.value == 2
+    assert len(tiny) == 1
+
+
+def test_lru_eviction(tiny):
+    # set 0 holds even line addrs (2 sets)
+    tiny.install(0, L1State.S, 0)
+    tiny.install(2, L1State.S, 0)
+    tiny.lookup(0)  # make 0 most recent
+    _, evicted = tiny.install(4, L1State.S, 0)
+    assert evicted is not None and evicted.addr == 2
+    assert tiny.resident(0) and tiny.resident(4) and not tiny.resident(2)
+
+
+def test_pinned_lines_never_evicted(tiny):
+    tiny.install(0, L1State.S, 0)
+    tiny.pin(0)
+    tiny.install(2, L1State.S, 0)
+    _, evicted = tiny.install(4, L1State.S, 0)
+    assert evicted.addr == 2  # the unpinned one, despite LRU order
+
+
+def test_capacity_error_when_all_ways_write_pinned(tiny):
+    tiny.install(0, L1State.M, 0)
+    tiny.install(2, L1State.M, 0)
+    tiny.pin(0, level=2)
+    tiny.pin(2, level=2)
+    with pytest.raises(CapacityError):
+        tiny.install(4, L1State.S, 0)
+
+
+def test_read_pinned_s_line_is_last_resort_victim(tiny):
+    tiny.install(0, L1State.S, 0)
+    tiny.install(2, L1State.M, 0)
+    tiny.pin(0, level=1)
+    tiny.pin(2, level=2)
+    _, evicted = tiny.install(4, L1State.S, 0)
+    assert evicted is not None and evicted.addr == 0
+
+
+def test_read_pinned_prefers_s_over_e(tiny):
+    tiny.install(0, L1State.E, 0)
+    tiny.install(2, L1State.S, 0)
+    tiny.pin(0, level=1)
+    tiny.pin(2, level=1)
+    tiny.lookup(2)  # S line more recently used — still preferred victim
+    _, evicted = tiny.install(4, L1State.S, 0)
+    assert evicted.addr == 2
+
+
+def test_pin_strength_only_increases(tiny):
+    tiny.install(0, L1State.M, 0)
+    tiny.pin(0, level=2)
+    tiny.pin(0, level=1)
+    assert tiny.lookup(0).pinned == 2
+
+
+def test_unpin_all_restores_evictability(tiny):
+    tiny.install(0, L1State.S, 0)
+    tiny.install(2, L1State.S, 0)
+    tiny.pin(0, level=2)
+    tiny.pin(2, level=2)
+    tiny.unpin_all([0, 2])
+    line, evicted = tiny.install(4, L1State.S, 0)
+    assert evicted is not None
+
+
+def test_invalidate(tiny):
+    tiny.install(0, L1State.M, 9)
+    line = tiny.invalidate(0)
+    assert line.value == 9
+    assert not tiny.resident(0)
+    assert tiny.invalidate(0) is None
+
+
+def test_downgrade(tiny):
+    tiny.install(0, L1State.M, 1)
+    line = tiny.downgrade(0)
+    assert line.state is L1State.S
+    assert tiny.downgrade(123) is None
+
+
+def test_state_of(tiny):
+    assert tiny.state_of(0) is L1State.I
+    tiny.install(0, L1State.E, 0)
+    assert tiny.state_of(0) is L1State.E
+
+
+def test_states_readable_writable():
+    assert not L1State.I.readable
+    assert L1State.S.readable and not L1State.S.writable
+    assert L1State.E.writable and L1State.M.writable
+
+
+def test_sets_isolated(tiny):
+    """Lines in different sets never evict each other."""
+    tiny.install(0, L1State.S, 0)
+    tiny.install(2, L1State.S, 0)
+    _, evicted = tiny.install(1, L1State.S, 0)  # odd -> other set
+    assert evicted is None
+
+
+def test_lines_iterator_and_len(tiny):
+    tiny.install(0, L1State.S, 0)
+    tiny.install(1, L1State.S, 0)
+    assert len(tiny) == 2
+    assert {l.addr for l in tiny.lines()} == {0, 1}
+
+
+def test_eviction_counter(tiny):
+    tiny.install(0, L1State.S, 0)
+    tiny.install(2, L1State.S, 0)
+    tiny.install(4, L1State.S, 0)
+    assert tiny.evictions == 1

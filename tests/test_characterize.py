@@ -1,0 +1,106 @@
+"""Tests for workload characterization — and, through it, the
+structural contracts of the STAMP analogues."""
+
+import pytest
+
+from repro.workloads.base import Gap, NonTxOp, TxInstance, TxOp, Workload
+from repro.workloads.characterize import characterize
+from repro.workloads.generator import read_ops, rmw_ops, write_ops
+from repro.workloads.stamp import make_stamp_workload
+from repro.workloads.synthetic import make_synthetic_workload
+
+
+def test_basic_counts():
+    prog = [TxInstance(0, read_ops([1, 2], 1, 0) + write_ops([2], 1, 10)),
+            NonTxOp(False, 9), Gap(5)]
+    c = characterize(Workload("w", [prog]))
+    assert c.instances == 1
+    assert c.ops == 4
+    assert c.reads_per_tx == [2]
+    assert c.writes_per_tx == [1]
+    assert c.rmw_pairs == 1  # 2 read then written
+
+
+def test_sharing_degree():
+    # both nodes read line 0; node0 writes it
+    progs = [
+        [TxInstance(0, read_ops([0], 1, 0) + write_ops([0], 1, 10))],
+        [TxInstance(0, read_ops([0], 1, 0))],
+    ]
+    c = characterize(Workload("w", progs))
+    assert c.sharing_degree() == 2.0
+    assert c.write_overlap() == 0.0
+
+
+def test_write_overlap():
+    progs = [
+        [TxInstance(0, write_ops([0, 1], 1, 0))],
+        [TxInstance(0, write_ops([0], 1, 0))],
+    ]
+    c = characterize(Workload("w", progs))
+    assert c.write_overlap() == 0.5  # line 0 shared, line 1 exclusive
+
+
+def test_empty_workload():
+    c = characterize(Workload("w", [[Gap(1)]]))
+    assert c.summary()["instances"] == 0
+    assert c.sharing_degree() == 0.0
+
+
+# ---------------------------------------------------------------------
+# the STAMP analogues' structural contracts (DESIGN.md)
+# ---------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def chars():
+    return {name: characterize(make_stamp_workload(name, scale=0.5))
+            for name in ("bayes", "intruder", "labyrinth", "yada",
+                         "genome", "kmeans", "ssca2", "vacation")}
+
+
+def test_labyrinth_reads_dominate(chars):
+    c = chars["labyrinth"]
+    assert c.read_set_mean() > 8 * c.write_set_mean()
+    assert c.sharing_degree() > 8  # nearly every node reads the grid
+
+
+def test_partitioned_writes_have_low_overlap(chars):
+    # bayes/labyrinth write own partitions (no W-W by construction);
+    # vacation keeps hot-row write contention (its 60%-coverage input)
+    for name in ("bayes", "labyrinth"):
+        assert chars[name].write_overlap() < 0.05, name
+    assert chars["vacation"].write_overlap() > 0.05
+
+
+def test_kmeans_ssca2_are_rmw(chars):
+    assert chars["kmeans"].rmw_fraction() > 0.9
+    assert chars["ssca2"].rmw_fraction() > 0.9
+    # bayes queries/scanners are read-only: almost no RMW idiom
+    assert chars["bayes"].rmw_fraction() < 0.2
+
+
+def test_contention_ordering(chars):
+    """High-contention workloads have strictly larger sharing degrees
+    than the low-contention ones."""
+    hc = min(chars[n].sharing_degree()
+             for n in ("bayes", "labyrinth"))
+    lc = max(chars[n].sharing_degree()
+             for n in ("genome", "ssca2"))
+    assert hc > lc
+
+
+def test_transaction_length_mix_in_bayes(chars):
+    """bayes mixes long scanners with short queries (the nacker/victim
+    asymmetry DESIGN.md documents)."""
+    ops_counts = sorted(chars["bayes"].reads_per_tx)
+    assert ops_counts[0] <= 8
+    assert ops_counts[-1] >= 24
+
+
+def test_synthetic_characterization_matches_knobs():
+    wl = make_synthetic_workload(num_nodes=4, instances=6,
+                                 shared_lines=16, tx_reads=5, tx_writes=2,
+                                 writer_fraction=1.0)
+    c = characterize(wl)
+    assert c.read_set_mean() == pytest.approx(5, abs=0.01)
+    assert c.write_set_mean() == pytest.approx(2, abs=0.25)

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_describe(capsys):
+    assert main(["describe"]) == 0
+    out = capsys.readouterr().out
+    assert "MESI" in out and "P-Buffer" in out
+
+
+def test_workloads_listing(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    for name in ("bayes", "ssca2", "synthetic"):
+        assert name in out
+
+
+def test_run_stamp(capsys):
+    rc = main(["run", "kmeans", "--scale", "0.15", "--scheme", "baseline"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "kmeans under baseline" in out
+    assert "commits" in out
+
+
+def test_run_json(capsys):
+    rc = main(["run", "ssca2", "--scale", "0.15", "--json"])
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["tx_committed"] > 0
+    assert "abort_rate" in data
+
+
+def test_run_synthetic_small_mesh(capsys):
+    rc = main(["run", "synthetic", "--nodes", "4", "--instances", "4",
+               "--shared-lines", "8", "--tx-reads", "3",
+               "--tx-writes", "1"])
+    assert rc == 0
+    assert "synthetic" in capsys.readouterr().out
+
+
+def test_compare_subset(capsys):
+    rc = main(["compare", "kmeans", "--scale", "0.15",
+               "--schemes", "baseline,puno"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out and "puno" in out
+    assert "aborts x" in out
+
+
+def test_compare_unknown_scheme(capsys):
+    rc = main(["compare", "kmeans", "--schemes", "baseline,nope"])
+    assert rc == 2
+
+
+def test_experiment_table2(capsys):
+    assert main(["experiment", "table2"]) == 0
+    assert "Table II" in capsys.readouterr().out
+
+
+def test_experiment_table3(capsys):
+    assert main(["experiment", "table3"]) == 0
+    assert "0.41%" in capsys.readouterr().out
+
+
+def test_area_custom_sizes(capsys):
+    assert main(["area", "--txlb", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "area_overhead" in out
+
+
+def test_run_with_trace_and_hotspots(tmp_path, capsys):
+    trace_file = tmp_path / "t.jsonl"
+    rc = main(["run", "ssca2", "--scale", "0.15",
+               "--trace", str(trace_file), "--hotspots"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "router utilization" in out
+    assert trace_file.exists()
+    assert trace_file.read_text().count("\n") > 10
+
+
+def test_characterize_command(capsys):
+    rc = main(["characterize", "labyrinth", "--scale", "0.3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sharing_degree" in out and "rmw_fraction" in out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bogus"])
+
+
+def test_parser_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "not-a-workload"])

@@ -1,0 +1,95 @@
+"""Tests for SystemConfig and sub-configs (Table II)."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import (
+    CacheConfig,
+    NetworkConfig,
+    SystemConfig,
+    small_config,
+)
+
+
+def test_table2_defaults():
+    cfg = SystemConfig()
+    assert cfg.num_nodes == 16
+    assert cfg.cache.size_bytes == 32 * 1024
+    assert cfg.cache.ways == 4
+    assert cfg.l2_latency == 20
+    assert cfg.memory_latency == 200
+    assert cfg.network.mesh_width == 4 and cfg.network.mesh_height == 4
+    assert cfg.network.router_latency == 4
+    assert cfg.puno.pbuffer_entries == 16
+    assert cfg.puno.txlb_entries == 32
+    assert not cfg.puno.enabled
+
+
+def test_cache_geometry():
+    c = CacheConfig()
+    assert c.num_lines == 512
+    assert c.num_sets == 128
+    assert 0 <= c.set_index(12345) < c.num_sets
+    assert c.set_index(5) == c.set_index(5 + c.num_sets)
+
+
+def test_home_node_interleaving():
+    cfg = SystemConfig()
+    homes = {cfg.home_node(a) for a in range(64)}
+    assert homes == set(range(16))
+    assert cfg.home_node(17) == 1
+
+
+def test_mesh_hops_and_latency():
+    n = NetworkConfig()
+    assert n.hops(0, 0) == 0
+    assert n.hops(0, 3) == 3  # same row
+    assert n.hops(0, 15) == 6  # corner to corner on 4x4
+    # local delivery still pays one router traversal
+    assert n.latency(5, 5) == n.router_latency
+    assert n.latency(0, 1) == 2 * n.router_latency + n.link_latency
+
+
+def test_router_traversals_metric():
+    n = NetworkConfig()
+    assert n.router_traversals(0, 0, flits=5) == 5
+    assert n.router_traversals(0, 1, flits=1) == 2
+    assert n.router_traversals(0, 15, flits=5) == 5 * 7
+
+
+def test_avg_latency_positive_and_symmetric_bounds():
+    n = NetworkConfig()
+    avg = n.avg_latency()
+    assert n.latency(0, 1) <= avg <= n.latency(0, 15)
+
+
+def test_mismatched_mesh_rejected():
+    with pytest.raises(ValueError):
+        SystemConfig(num_nodes=8)  # default 4x4 mesh has 16
+
+
+def test_with_puno():
+    cfg = SystemConfig().with_puno(notification_enabled=False)
+    assert cfg.puno.enabled
+    assert not cfg.puno.notification_enabled
+    # original untouched (frozen dataclasses)
+    assert not SystemConfig().puno.enabled
+
+
+def test_small_config_shapes():
+    for n in (1, 2, 4, 9, 16):
+        cfg = small_config(n)
+        assert cfg.num_nodes == n
+        assert cfg.network.num_nodes == n
+
+
+def test_describe_mentions_key_parameters():
+    text = SystemConfig().describe()
+    assert "32 KB" in text and "MESI" in text and "P-Buffer" in text
+
+
+def test_configs_frozen():
+    cfg = SystemConfig()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cfg.num_nodes = 8

@@ -1,0 +1,87 @@
+"""Tests for conflict detection and time-based resolution."""
+
+from repro.htm.conflict import Decision, check_fwd_gets, check_fwd_getx
+from repro.htm.transaction import Transaction
+from repro.network.message import TxTag
+
+
+def _tx(ts, node=0, reads=(), writes=()):
+    tx = Transaction(node=node, static_id=0, instance_id=0, timestamp=ts,
+                     attempt=1, start_cycle=0)
+    for a in reads:
+        tx.record_read(a)
+    for a in writes:
+        tx.record_write(a, 0)
+    return tx
+
+
+def test_no_tx_acks():
+    assert check_fwd_getx(None, 5, TxTag(1, 1)) is Decision.ACK
+    assert check_fwd_gets(None, 5, TxTag(1, 1)) is Decision.ACK
+
+
+def test_inactive_tx_acks():
+    tx = _tx(1, reads=[5])
+    tx.doom("x")
+    assert check_fwd_getx(tx, 5, TxTag(1, 99)) is Decision.ACK
+
+
+def test_untouched_line_acks():
+    tx = _tx(1, reads=[5])
+    assert check_fwd_getx(tx, 6, TxTag(1, 99)) is Decision.ACK
+
+
+def test_getx_vs_read_set_older_local_nacks():
+    tx = _tx(ts=1, reads=[5])
+    assert check_fwd_getx(tx, 5, TxTag(1, 99)) is Decision.NACK
+
+
+def test_getx_vs_read_set_younger_local_aborts():
+    tx = _tx(ts=99, reads=[5])
+    assert check_fwd_getx(tx, 5, TxTag(1, 1)) is Decision.ACK_ABORT
+
+
+def test_getx_vs_write_set():
+    tx = _tx(ts=1, writes=[5])
+    assert check_fwd_getx(tx, 5, TxTag(1, 99)) is Decision.NACK
+    tx2 = _tx(ts=99, writes=[5])
+    assert check_fwd_getx(tx2, 5, TxTag(1, 1)) is Decision.ACK_ABORT
+
+
+def test_gets_conflicts_only_with_write_set():
+    """Read-read sharing is never a conflict."""
+    reader = _tx(ts=1, reads=[5])
+    assert check_fwd_gets(reader, 5, TxTag(1, 99)) is Decision.ACK
+    writer = _tx(ts=1, writes=[5])
+    assert check_fwd_gets(writer, 5, TxTag(1, 99)) is Decision.NACK
+    young_writer = _tx(ts=99, writes=[5])
+    assert check_fwd_gets(young_writer, 5, TxTag(1, 1)) is Decision.ACK_ABORT
+
+
+def test_non_transactional_requester_always_loses():
+    tx = _tx(ts=10**9, reads=[5])  # even a very young transaction wins
+    assert check_fwd_getx(tx, 5, None) is Decision.NACK
+    writer = _tx(ts=10**9, writes=[5])
+    assert check_fwd_gets(writer, 5, None) is Decision.NACK
+
+
+def test_node_id_tiebreak():
+    local = _tx(ts=10, node=0, reads=[5])
+    assert check_fwd_getx(local, 5, TxTag(node=1, timestamp=10)) is Decision.NACK
+    local2 = _tx(ts=10, node=2, reads=[5])
+    assert (check_fwd_getx(local2, 5, TxTag(node=1, timestamp=10))
+            is Decision.ACK_ABORT)
+
+
+def test_priority_total_order_no_mutual_nack():
+    """For any pair, at most one side can nack the other — the property
+    that makes the baseline deadlock free."""
+    for ts_a, node_a in [(1, 0), (5, 3), (5, 4)]:
+        for ts_b, node_b in [(1, 1), (5, 3), (9, 0)]:
+            if (ts_a, node_a) == (ts_b, node_b):
+                continue
+            a = _tx(ts=ts_a, node=node_a, reads=[7])
+            b = _tx(ts=ts_b, node=node_b, reads=[7])
+            a_nacks = check_fwd_getx(a, 7, b.tag()) is Decision.NACK
+            b_nacks = check_fwd_getx(b, 7, a.tag()) is Decision.NACK
+            assert a_nacks != b_nacks

@@ -1,0 +1,126 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_schedule_and_run_order(sim):
+    order = []
+    sim.schedule(5, order.append, "b")
+    sim.schedule(1, order.append, "a")
+    sim.schedule(9, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 9
+
+
+def test_same_cycle_fifo(sim):
+    """Events in the same cycle run in scheduling order."""
+    order = []
+    for i in range(10):
+        sim.schedule(3, order.append, i)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_zero_delay_runs_after_queued_same_cycle(sim):
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0, order.append, "nested")
+
+    sim.schedule(1, first)
+    sim.schedule(1, order.append, "second")
+    sim.run()
+    assert order == ["first", "second", "nested"]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at(sim):
+    hits = []
+    sim.schedule_at(7, hits.append, 1)
+    sim.run()
+    assert sim.now == 7 and hits == [1]
+    with pytest.raises(ValueError):
+        sim.schedule_at(3, hits.append, 2)
+
+
+def test_cancel(sim):
+    hits = []
+    ev = sim.schedule(4, hits.append, "x")
+    sim.schedule(2, ev.cancel)
+    sim.run()
+    assert hits == []
+
+
+def test_run_until(sim):
+    hits = []
+    sim.schedule(10, hits.append, 1)
+    sim.schedule(30, hits.append, 2)
+    sim.run(until=20)
+    assert hits == [1]
+    assert sim.now == 20
+    sim.run()
+    assert hits == [1, 2]
+
+
+def test_run_until_advances_clock_with_empty_heap(sim):
+    sim.run(until=100)
+    assert sim.now == 100
+
+
+def test_max_events(sim):
+    hits = []
+    for i in range(5):
+        sim.schedule(i + 1, hits.append, i)
+    sim.run(max_events=3)
+    assert hits == [0, 1, 2]
+    sim.run()
+    assert hits == [0, 1, 2, 3, 4]
+
+
+def test_step(sim):
+    hits = []
+    sim.schedule(2, hits.append, "a")
+    assert sim.step() is True
+    assert hits == ["a"] and sim.now == 2
+    assert sim.step() is False
+
+
+def test_events_processed_counts(sim):
+    for i in range(7):
+        sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_processed == 7
+
+
+def test_not_reentrant(sim):
+    def recurse():
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    sim.schedule(1, recurse)
+    sim.run()
+
+
+def test_idle_ignores_cancelled(sim):
+    ev = sim.schedule(5, lambda: None)
+    assert not sim.idle()
+    ev.cancel()
+    assert sim.idle()
+
+
+def test_clock_monotonic_across_many_events(sim):
+    times = []
+    import random
+    rng = random.Random(0)
+    for _ in range(200):
+        sim.schedule(rng.randint(0, 50), lambda: times.append(sim.now))
+    sim.run()
+    assert times == sorted(times)

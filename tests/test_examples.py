@@ -1,0 +1,61 @@
+"""Every shipped example must run end-to-end (tiny scale)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py", "kmeans", "0.15")
+    assert "baseline" in out and "PUNO" in out
+
+
+def test_false_aborting_study():
+    out = _run("false_aborting_study.py", "0.15")
+    assert "false aborting" in out
+    assert "labyrinth" in out
+
+
+def test_puno_anatomy():
+    out = _run("puno_anatomy.py", "bayes", "0.15")
+    assert "component ablation" in out
+    assert "Prediction accuracy" in out
+
+
+def test_stamp_tour():
+    out = _run("stamp_tour.py", "0.12")
+    assert "Fig. 10" in out or "normalized transaction aborts" in out
+    assert "puno" in out
+
+
+@pytest.mark.slow
+def test_contention_sweep():
+    out = _run("contention_sweep.py")
+    assert "Contention sweep" in out
+
+
+def test_abort_dynamics():
+    out = _run("abort_dynamics.py", "kmeans", "0.2")
+    assert "commits/kcyc" in out
+    assert "PUNO" in out
+
+
+def test_html_report(tmp_path):
+    target = tmp_path / "report.html"
+    out = _run("html_report.py", "0.12", str(target))
+    assert target.exists()
+    content = target.read_text()
+    assert "<svg" in content and "Fig. 10" in content

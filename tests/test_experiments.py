@@ -1,0 +1,66 @@
+"""Smoke tests for the experiment harness (tiny scale)."""
+
+import pytest
+
+from repro.analysis import experiments as E
+
+SCALE = 0.12
+
+
+def test_table1_smoke():
+    r = E.table1(scale=SCALE)
+    assert len(r.data["rows"]) == 8
+    assert "Table I" in r.text
+    for row in r.data["rows"]:
+        assert 0.0 <= row["measured abort %"] <= 100.0
+
+
+def test_table2_smoke():
+    r = E.table2()
+    assert "MESI" in r.text
+    assert r.data["config"].num_nodes == 16
+
+
+def test_table3_smoke():
+    r = E.table3()
+    assert "Prio-Buffer" in r.text
+    assert r.data["estimate"]["area_overhead"] > 0
+
+
+def test_fig2_smoke():
+    r = E.fig2(scale=SCALE)
+    assert "average" in r.data["series"]
+    assert all(0 <= v <= 100 for v in r.data["series"].values())
+
+
+def test_fig3_smoke():
+    r = E.fig3(scale=SCALE, names=["labyrinth"])
+    assert "labyrinth" in r.data["distributions"]
+
+
+def test_full_evaluation_shares_sweep():
+    figs = E.full_evaluation(scale=SCALE)
+    assert set(figs) == {"fig10", "fig11", "fig12", "fig13", "fig14"}
+    for r in figs.values():
+        norm = r.data["normalized"]
+        assert set(norm) == {"bayes", "intruder", "labyrinth", "yada",
+                             "genome", "kmeans", "ssca2", "vacation"}
+        for row in norm.values():
+            assert row["baseline"] == pytest.approx(1.0)
+        assert "HC-average" in r.text and "average" in r.text
+
+
+def test_single_fig_runs_own_sweep_if_needed():
+    r = E.fig10(scale=SCALE)
+    assert "hc_average" in r.data
+
+
+def test_seed_averaged_evaluation():
+    figs = E.seed_averaged_evaluation(scale=SCALE, seeds=2)
+    assert set(figs) == {"fig10", "fig11", "fig12", "fig13", "fig14"}
+    for r in figs.values():
+        norm = r.data["normalized"]
+        assert len(norm) == 8
+        for row in norm.values():
+            assert row["baseline"] == pytest.approx(1.0)
+        assert "mean of 2 seeds" in r.text

@@ -1,0 +1,47 @@
+"""Tests for the Table III area/power model."""
+
+import pytest
+
+from repro.core.hw_model import (
+    ROCK_CORE_AREA_UM2,
+    ROCK_CORE_POWER_MW,
+    PunoAreaModel,
+    estimate_overhead,
+)
+
+
+def test_paper_configuration_reproduces_table3():
+    est = estimate_overhead()
+    assert est["pbuffer_area_um2"] == pytest.approx(4700, rel=0.01)
+    assert est["txlb_area_um2"] == pytest.approx(5380, rel=0.01)
+    assert est["ud_area_um2"] == pytest.approx(47400, rel=0.01)
+    assert est["total_area_um2"] == pytest.approx(57480, rel=0.01)
+    assert est["pbuffer_power_mw"] == pytest.approx(7.28, rel=0.01)
+    assert est["txlb_power_mw"] == pytest.approx(7.52, rel=0.01)
+    assert est["ud_power_mw"] == pytest.approx(16.43, rel=0.01)
+
+
+def test_headline_overheads():
+    est = estimate_overhead()
+    assert est["area_overhead"] == pytest.approx(0.0041, abs=0.0002)
+    assert est["power_overhead"] == pytest.approx(0.0031, abs=0.0002)
+
+
+def test_scaling_with_structure_sizes():
+    small = estimate_overhead(pbuffer_entries=16, txlb_entries=32)
+    big = estimate_overhead(pbuffer_entries=16, txlb_entries=64)
+    assert big["txlb_area_um2"] == pytest.approx(
+        2 * small["txlb_area_um2"], rel=0.05)
+    assert big["pbuffer_area_um2"] == small["pbuffer_area_um2"]
+
+
+def test_bit_counting():
+    m = PunoAreaModel()
+    assert m.pbuffer_bits(num_dirs=1, entries=1) == 34 + 32
+    assert m.txlb_bits(num_nodes=1, entries=1) == 40
+    assert m.ud_bits(num_dirs=1, tracked_entries=1) == 8
+
+
+def test_reference_die_constants():
+    assert ROCK_CORE_AREA_UM2 == 14_000_000
+    assert ROCK_CORE_POWER_MW == 10_000

@@ -1,0 +1,63 @@
+"""Tests for coherence messages and the PUNO extensions."""
+
+from repro.network.message import (
+    CONTROL_TYPES,
+    DATA_TYPES,
+    Message,
+    MessageType,
+    TxTag,
+)
+
+
+def test_type_partition():
+    assert DATA_TYPES | CONTROL_TYPES == frozenset(MessageType)
+    assert not (DATA_TYPES & CONTROL_TYPES)
+    assert MessageType.DATA in DATA_TYPES
+    assert MessageType.GRANT in CONTROL_TYPES
+    assert MessageType.NACK in CONTROL_TYPES
+
+
+def test_flit_sizing():
+    data = Message(MessageType.DATA, 0, 0, 1)
+    ctrl = Message(MessageType.GETX, 0, 0, 1)
+    assert data.flits(1, 5) == 5
+    assert ctrl.flits(1, 5) == 1
+
+
+def test_puno_extensions_fit_without_extra_flits():
+    """Fig. 7: U-bit / notification / MP fields do not change sizes."""
+    plain = Message(MessageType.NACK, 0, 0, 1)
+    extended = Message(MessageType.NACK, 0, 0, 1, t_est=500, mp_bit=True,
+                       u_bit=True)
+    assert plain.flits(1, 5) == extended.flits(1, 5)
+
+
+def test_txtag_total_order():
+    a = TxTag(node=0, timestamp=10)
+    b = TxTag(node=1, timestamp=10)
+    c = TxTag(node=0, timestamp=20)
+    assert a.older_than(b)  # node id tiebreak
+    assert not b.older_than(a)
+    assert a.older_than(c)
+    assert b.older_than(c)
+    assert not a.older_than(a)
+
+
+def test_message_uids_unique():
+    msgs = [Message(MessageType.ACK, 0, 0, 1) for _ in range(10)]
+    assert len({m.uid for m in msgs}) == 10
+
+
+def test_is_transactional():
+    assert not Message(MessageType.GETS, 0, 0, 1).is_transactional
+    assert Message(MessageType.GETS, 0, 0, 1,
+                   tx=TxTag(0, 1)).is_transactional
+
+
+def test_defaults():
+    m = Message(MessageType.GETX, 7, 2, 3)
+    assert m.requester == -1 and m.req_id == -1
+    assert not m.u_bit and not m.mp_bit
+    assert m.t_est == -1 and m.mp_node == -1
+    assert m.success and m.survivors == ()
+    assert not m.terminal and not m.aborted

@@ -1,0 +1,89 @@
+"""Tests for the network transport and traffic accounting."""
+
+import pytest
+
+from repro.network.message import Message, MessageType
+from repro.network.network import Network
+from repro.network.topology import Mesh
+from repro.sim.config import NetworkConfig
+from repro.sim.engine import Simulator
+from repro.sim.stats import Stats
+
+
+@pytest.fixture
+def net():
+    sim = Simulator()
+    cfg = NetworkConfig()
+    stats = Stats(cfg.num_nodes)
+    network = Network(sim, Mesh(cfg), stats)
+    inboxes = {n: [] for n in range(cfg.num_nodes)}
+    for n in range(cfg.num_nodes):
+        network.register(n, inboxes[n].append)
+    return sim, network, stats, inboxes
+
+
+def test_delivery_latency(net):
+    sim, network, stats, inboxes = net
+    msg = Message(MessageType.GETS, 0, 0, 15)
+    network.send(msg)
+    expected = network.mesh.latency(0, 15)
+    sim.run(until=expected - 1)
+    assert inboxes[15] == []
+    sim.run()
+    assert inboxes[15] == [msg]
+    assert sim.now == expected
+
+
+def test_extra_delay_not_charged_to_traffic(net):
+    sim, network, stats, inboxes = net
+    network.send(Message(MessageType.GETS, 0, 0, 1), extra_delay=100)
+    base_traversals = stats.flit_router_traversals
+    network.send(Message(MessageType.GETS, 0, 0, 1))
+    assert stats.flit_router_traversals == 2 * base_traversals
+
+
+def test_traffic_accounting_control_vs_data(net):
+    sim, network, stats, _ = net
+    network.send(Message(MessageType.GETS, 0, 0, 1))  # 1 flit, 1 hop
+    assert stats.flit_router_traversals == 1 * 2
+    network.send(Message(MessageType.DATA, 0, 0, 1))  # 5 flits
+    assert stats.flit_router_traversals == 2 + 5 * 2
+    assert stats.flits_injected == 6
+
+
+def test_messages_by_type_counted(net):
+    sim, network, stats, _ = net
+    for _ in range(3):
+        network.send(Message(MessageType.NACK, 0, 2, 3))
+    assert stats.messages_by_type[MessageType.NACK] == 3
+
+
+def test_same_pair_fifo_ordering(net):
+    """Messages between the same endpoints deliver in send order —
+    the protocol relies on this point-to-point ordering."""
+    sim, network, stats, inboxes = net
+    msgs = [Message(MessageType.ACK, i, 3, 9) for i in range(5)]
+    for m in msgs:
+        network.send(m)
+    sim.run()
+    assert inboxes[9] == msgs
+
+
+def test_unknown_destination_rejected(net):
+    sim, network, stats, _ = net
+    with pytest.raises(KeyError):
+        network.send(Message(MessageType.GETS, 0, 0, 99))
+
+
+def test_double_register_rejected(net):
+    sim, network, stats, _ = net
+    with pytest.raises(ValueError):
+        network.register(0, lambda m: None)
+
+
+def test_local_delivery_counts_one_router(net):
+    sim, network, stats, inboxes = net
+    network.send(Message(MessageType.GETS, 0, 5, 5))
+    assert stats.flit_router_traversals == 1
+    sim.run()
+    assert len(inboxes[5]) == 1

@@ -1,0 +1,70 @@
+"""Tests for per-router traffic accounting and hotspot analysis."""
+
+import pytest
+
+from repro.network.message import Message, MessageType
+from repro.network.network import Network
+from repro.network.topology import Mesh
+from repro.sim.config import NetworkConfig, small_config
+from repro.sim.engine import Simulator
+from repro.sim.stats import Stats
+
+
+@pytest.fixture
+def net():
+    sim = Simulator()
+    cfg = NetworkConfig()
+    stats = Stats(cfg.num_nodes)
+    network = Network(sim, Mesh(cfg), stats)
+    for n in range(cfg.num_nodes):
+        network.register(n, lambda m: None)
+    return network
+
+
+def test_route_routers_credited(net):
+    net.send(Message(MessageType.GETS, 0, 0, 3))  # route 0-1-2-3
+    assert net.router_flits[0] == 1
+    assert net.router_flits[1] == 1
+    assert net.router_flits[3] == 1
+    assert net.router_flits[4] == 0
+
+
+def test_per_router_sum_matches_global_metric(net):
+    for dst in (3, 7, 12, 15):
+        net.send(Message(MessageType.DATA, 0, 0, dst))
+    assert sum(net.router_flits) == net.stats.flit_router_traversals
+
+
+def test_hotspots_ranking(net):
+    for _ in range(5):
+        net.send(Message(MessageType.GETS, 0, 0, 1))
+    net.send(Message(MessageType.GETS, 0, 14, 15))
+    top = net.hotspots(top=2)
+    assert top[0][0] in (0, 1)
+    assert top[0][1] == 5
+
+
+def test_utilization_grid_shape(net):
+    net.send(Message(MessageType.GETS, 0, 0, 15))
+    grid = net.utilization_grid()
+    lines = grid.splitlines()
+    assert len(lines) == 4
+    assert all(len(l) == 8 for l in lines)  # 2 chars per router
+    # untouched corner is blank, hottest cell uses the densest shade
+    assert lines[1][:2] == "  "
+    assert "@" in grid
+
+
+def test_home_node_is_hotspot_end_to_end():
+    """A single-line workload makes that line's home the hotspot."""
+    from repro.system import System
+    from repro.workloads.base import TxInstance, Gap
+    from repro.workloads.generator import rmw_ops
+    addr = 2  # home = node 2 on a 4-node system
+    progs = [[TxInstance(0, rmw_ops([addr], 1, 0), i) for i in range(5)]
+             if n == 0 else [Gap(1)] for n in range(4)]
+    from repro.workloads.base import Workload
+    system = System(small_config(4), Workload("hot", progs), "baseline")
+    system.run(max_cycles=1_000_000)
+    top_node, _ = system.network.hotspots(top=1)[0]
+    assert top_node in (0, 2)  # requester or home

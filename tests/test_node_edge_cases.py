@@ -1,0 +1,142 @@
+"""Node-controller edge cases and protocol corner races."""
+
+import pytest
+
+from repro.coherence.states import DirState, L1State
+from repro.sim.config import small_config
+from repro.system import System, run_workload
+from repro.workloads.base import Gap, NonTxOp, TxInstance, TxOp, Workload
+from repro.workloads.generator import read_ops, rmw_ops, write_ops
+
+
+def _run(programs, cfg=None, cm="baseline"):
+    cfg = cfg or small_config(len(programs))
+    wl = Workload("t", programs)
+    system = System(cfg, wl, cm)
+    return system, system.run(max_cycles=5_000_000)
+
+
+def test_empty_programs():
+    system, result = _run([[Gap(1)] for _ in range(4)])
+    assert result.stats.tx_started == 0
+    assert result.stats.execution_cycles >= 1
+
+
+def test_rewrite_same_line_logs_once():
+    """Two writes to one line in one tx: single undo entry, two
+    increments."""
+    ops = [TxOp(True, 0, 1, 0), TxOp(True, 0, 1, 1)]
+    programs = [[TxInstance(0, ops)], [Gap(1)], [Gap(1)], [Gap(1)]]
+    system, result = _run(programs)
+    assert system.global_value(0) == 2
+
+
+def test_read_after_write_hits_locally():
+    ops = [TxOp(True, 0, 1, 0), TxOp(False, 0, 1, 1)]
+    programs = [[TxInstance(0, ops)], [Gap(1)], [Gap(1)], [Gap(1)]]
+    system, result = _run(programs)
+    s = result.stats
+    assert s.tx_committed == 1
+    # one GETX total; the read hits the M line
+    assert s.dir_requests.get(
+        __import__("repro.network.message",
+                   fromlist=["MessageType"]).MessageType.GETS, 0) == 0
+
+
+def test_back_to_back_instances_reuse_cache():
+    progs = [[TxInstance(0, read_ops([0, 4], 1, 0), 0), Gap(5),
+              TxInstance(0, read_ops([0, 4], 1, 0), 1)],
+             [Gap(1)], [Gap(1)], [Gap(1)]]
+    system, result = _run(progs)
+    assert result.stats.tx_committed == 2
+    # second instance hits in L1: still only 2 cold misses
+    assert result.stats.l2_misses == 2
+
+
+def test_non_tx_write_nacked_by_transaction_then_succeeds():
+    programs = [
+        # a long transaction reading line 0
+        [TxInstance(0, read_ops([0], 1, 0) + [TxOp(False, 100, 900, 1)])],
+        # a non-transactional writer: lowest priority, must wait
+        [Gap(150), NonTxOp(True, 0, think=1)],
+        [Gap(1)], [Gap(1)],
+    ]
+    system, result = _run(programs)
+    s = result.stats
+    assert s.tx_committed == 1 and s.tx_aborted == 0
+    assert s.nodes[1].nacks_received > 0
+    assert system.global_value(0) == 1
+
+
+def test_non_tx_sharer_always_complies():
+    programs = [
+        [NonTxOp(False, 0, think=1), Gap(2000)],  # plain cached reader
+        [Gap(200), TxInstance(0, write_ops([0], 1, 0))],
+        [Gap(1)], [Gap(1)],
+    ]
+    system, result = _run(programs)
+    assert result.stats.tx_aborted == 0
+    assert result.stats.tx_committed == 1
+
+
+def test_rmw_upgrade_path():
+    """Read then write the same line inside one tx: S -> M upgrade."""
+    programs = [
+        [TxInstance(0, rmw_ops([0], 1, 0))],
+        [Gap(50), TxInstance(0, rmw_ops([0], 1, 0))],
+        [Gap(1)], [Gap(1)],
+    ]
+    system, result = _run(programs)
+    assert result.stats.tx_committed == 2
+    assert system.global_value(0) == 2
+
+
+def test_doomed_tx_during_outstanding_request_settles_coherence():
+    """A transaction aborted while its GETX is in flight must still
+    install/unblock so the directory is consistent afterwards."""
+    programs = [
+        # tx reads 0 early, then requests line 4 (home 0) slowly; while
+        # waiting it gets killed by the older writer of 0
+        [Gap(300), TxInstance(0, [TxOp(False, 0, 1, 0),
+                                  TxOp(True, 4, 60, 1),
+                                  TxOp(False, 100, 50, 2)])],
+        [TxInstance(0, [TxOp(False, 200, 380, 3), TxOp(True, 0, 1, 4)])],
+        [Gap(1)], [Gap(1)],
+    ]
+    system, result = _run(programs)
+    # both eventually commit; audits (run inside run()) must pass
+    assert result.stats.tx_committed == 2
+    assert system.global_value(0) == 1  # node1's write
+    assert system.global_value(4) == 1  # node0's write (after retry)
+
+
+def test_gap_sequencing():
+    programs = [[Gap(10), NonTxOp(True, 0), Gap(10), NonTxOp(True, 0)],
+                [Gap(1)], [Gap(1)], [Gap(1)]]
+    system, result = _run(programs)
+    assert system.global_value(0) == 2
+
+
+def test_sixteen_node_table2_system_runs():
+    from repro.workloads.synthetic import make_synthetic_workload
+    from repro.sim.config import SystemConfig
+    wl = make_synthetic_workload(num_nodes=16, instances=4,
+                                 shared_lines=32, tx_reads=4, tx_writes=1)
+    r = run_workload(SystemConfig(), wl, cm="baseline",
+                     max_cycles=10_000_000)
+    assert r.stats.tx_committed == wl.total_instances()
+
+
+def test_deterministic_replay():
+    """Identical configuration + workload => identical statistics."""
+    from repro.workloads.synthetic import make_synthetic_workload
+    runs = []
+    for _ in range(2):
+        wl = make_synthetic_workload(num_nodes=4, instances=8,
+                                     shared_lines=8, tx_reads=4,
+                                     tx_writes=2, seed=5)
+        r = run_workload(small_config(4, seed=9), wl, cm="backoff",
+                         max_cycles=5_000_000)
+        runs.append((r.stats.execution_cycles, r.stats.tx_aborted,
+                     r.stats.flit_router_traversals))
+    assert runs[0] == runs[1]

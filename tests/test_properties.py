@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) for core data structures and
+protocol invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.pbuffer import PBuffer
+from repro.core.txlb import TxLB
+from repro.coherence.cache import L1Cache
+from repro.coherence.states import L1State
+from repro.network.message import TxTag
+from repro.network.topology import Mesh
+from repro.sim.config import CacheConfig, NetworkConfig, PUNOConfig, \
+    small_config
+from repro.sim.engine import Simulator
+from repro.system import System
+from repro.workloads.base import Workload
+from repro.workloads.synthetic import make_synthetic_workload
+
+
+# ---------------------------------------------------------------------
+# engine
+# ---------------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                max_size=60))
+def test_engine_executes_in_time_order(delays):
+    sim = Simulator()
+    seen = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: seen.append(sim.now))
+    sim.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)
+    assert sim.now == max(delays)
+
+
+# ---------------------------------------------------------------------
+# mesh
+# ---------------------------------------------------------------------
+
+@given(st.integers(1, 6), st.integers(1, 6), st.data())
+def test_mesh_route_properties(w, h, data):
+    mesh = Mesh(NetworkConfig(mesh_width=w, mesh_height=h))
+    src = data.draw(st.integers(0, w * h - 1))
+    dst = data.draw(st.integers(0, w * h - 1))
+    path = mesh.route(src, dst)
+    assert path[0] == src and path[-1] == dst
+    assert len(path) == mesh.hops(src, dst) + 1
+    assert len(set(path)) == len(path)  # DOR never revisits a router
+
+
+# ---------------------------------------------------------------------
+# TxTag ordering
+# ---------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.integers(0, 100), st.integers(0, 15)),
+                min_size=2, max_size=10, unique=True))
+def test_txtag_total_order(pairs):
+    tags = [TxTag(node=n, timestamp=ts) for ts, n in pairs]
+    # antisymmetry: exactly one of a<b, b<a for distinct tags
+    for a in tags:
+        for b in tags:
+            if (a.timestamp, a.node) == (b.timestamp, b.node):
+                continue
+            assert a.older_than(b) != b.older_than(a)
+    # transitivity via sort stability
+    key = lambda t: (t.timestamp, t.node)
+    s = sorted(tags, key=key)
+    for x, y in zip(s, s[1:]):
+        assert not y.older_than(x)
+
+
+# ---------------------------------------------------------------------
+# TxLB: formula (1) keeps the estimate inside observed bounds
+# ---------------------------------------------------------------------
+
+@given(st.lists(st.integers(1, 10_000), min_size=1, max_size=50))
+def test_txlb_estimate_bounded_by_history(lengths):
+    t = TxLB()
+    for L in lengths:
+        t.update(0, L)
+    est = t.average_length(0)
+    assert min(lengths) <= est <= max(lengths)
+
+
+@given(st.lists(st.integers(1, 1000), min_size=1, max_size=30),
+       st.integers(0, 2000))
+def test_txlb_remaining_nonnegative(lengths, elapsed):
+    t = TxLB()
+    for L in lengths:
+        t.update(0, L)
+    assert t.estimate_remaining(0, elapsed) >= 0
+
+
+@given(st.lists(st.tuples(st.integers(0, 200), st.integers(1, 500)),
+                min_size=1, max_size=100), st.integers(2, 8))
+def test_txlb_capacity_never_exceeded(updates, cap):
+    t = TxLB(capacity=cap)
+    for sid, L in updates:
+        t.update(sid, L)
+        assert len(t) <= cap
+    # every static id ever seen still has an estimate (soft fallback)
+    for sid, _ in updates:
+        assert t.average_length(sid) is not None
+
+
+# ---------------------------------------------------------------------
+# P-Buffer validity automaton
+# ---------------------------------------------------------------------
+
+@given(st.lists(st.sampled_from(["update", "decay", "invalidate"]),
+                max_size=60))
+def test_pbuffer_validity_stays_in_range(ops):
+    pb = PBuffer(4, PUNOConfig(enabled=True))
+    for op in ops:
+        if op == "update":
+            pb.update(1, 10)
+        elif op == "decay":
+            pb.decay()
+        else:
+            pb.invalidate(1)
+        v = pb.validity(1)
+        assert 0 <= v <= 3
+        # usable implies a priority is recorded
+        if pb.usable(1):
+            assert pb.priority(1) is not None
+
+
+# ---------------------------------------------------------------------
+# L1 cache invariants
+# ---------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.sampled_from(["install", "invalidate",
+                                           "pin", "unpin"]),
+                          st.integers(0, 15)), max_size=80))
+def test_cache_never_overfills(ops):
+    cache = L1Cache(CacheConfig(size_bytes=4 * 64, ways=2))
+    pinned = set()
+    for op, addr in ops:
+        if op == "install":
+            try:
+                cache.install(addr, L1State.S, 0)
+            except Exception:
+                pass
+        elif op == "invalidate":
+            cache.invalidate(addr)
+            pinned.discard(addr)
+        elif op == "pin":
+            if cache.resident(addr):
+                cache.pin(addr, 2)
+                pinned.add(addr)
+        else:
+            cache.unpin_all([addr])
+            pinned.discard(addr)
+        # geometry invariant: no set exceeds its ways
+        for cset in cache._sets:
+            assert len(cset) <= cache.config.ways
+        # pinned lines stay resident
+        for a in pinned:
+            assert cache.resident(a)
+
+
+# ---------------------------------------------------------------------
+# end-to-end atomicity: random contended workloads audit clean
+# ---------------------------------------------------------------------
+
+@settings(deadline=None, max_examples=12,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 10_000), st.integers(2, 10), st.integers(1, 3),
+       st.booleans(), st.sampled_from(["baseline", "backoff", "rmw",
+                                       "puno"]))
+def test_random_workload_atomicity(seed, shared_lines, writes, rmw, cm):
+    wl = make_synthetic_workload(
+        num_nodes=4, instances=5, shared_lines=shared_lines,
+        tx_reads=max(writes, 3), tx_writes=writes,
+        write_in_read_set=not rmw, rmw=rmw, seed=seed)
+    cfg = small_config(4, seed=seed)
+    if cm == "puno":
+        cfg = cfg.with_puno()
+    system = System(cfg, wl, cm)
+    # run() performs the coherence + value audits; they raise on any
+    # violation of single-writer/multi-reader or atomicity
+    result = system.run(max_cycles=10_000_000)
+    assert result.stats.tx_committed == wl.total_instances()
+    # every committed increment is in memory, none lost or duplicated
+    total = sum(system.global_value(a)
+                for d in system.directories for a in d.entries)
+    assert total == sum(n.committed_increments for n in system.nodes)

@@ -1,0 +1,41 @@
+"""Tests for the deterministic RNG factory."""
+
+from repro.sim.rng import RngFactory
+
+
+def test_same_name_same_stream_object():
+    f = RngFactory(1)
+    assert f.stream("a") is f.stream("a")
+
+
+def test_streams_reproducible_across_factories():
+    a = RngFactory(42).stream("x")
+    b = RngFactory(42).stream("x")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_streams_independent_of_creation_order():
+    f1 = RngFactory(7)
+    f1.stream("a")
+    x1 = f1.stream("b").random()
+    f2 = RngFactory(7)
+    x2 = f2.stream("b").random()  # "a" never created
+    assert x1 == x2
+
+
+def test_different_names_differ():
+    f = RngFactory(3)
+    assert f.stream("a").random() != f.stream("b").random()
+
+
+def test_different_seeds_differ():
+    assert (RngFactory(1).stream("s").random()
+            != RngFactory(2).stream("s").random())
+
+
+def test_fork_is_deterministic_and_distinct():
+    f = RngFactory(9)
+    c1 = f.fork("node0")
+    c2 = RngFactory(9).fork("node0")
+    assert c1.stream("w").random() == c2.stream("w").random()
+    assert f.fork("node0").master_seed != f.fork("node1").master_seed

@@ -1,0 +1,80 @@
+"""Tests for the statistics collector."""
+
+import math
+
+from repro.sim.stats import Histogram, Stats
+
+
+def test_histogram_basics():
+    h = Histogram()
+    for v in [1, 1, 2, 5]:
+        h.add(v)
+    assert h.total == 4
+    assert h.mean() == 9 / 4
+    assert h.max() == 5
+    d = h.distribution()
+    assert d[1] == 0.5 and d[2] == 0.25 and d[5] == 0.25
+
+
+def test_histogram_weights_and_cdf():
+    h = Histogram()
+    h.add(3, weight=3)
+    h.add(7)
+    cdf = h.cdf()
+    assert cdf[3] == 0.75 and cdf[7] == 1.0
+
+
+def test_empty_histogram():
+    h = Histogram()
+    assert h.total == 0
+    assert h.mean() == 0.0
+    assert h.max() == 0
+    assert h.distribution() == {}
+
+
+def test_stats_aggregation():
+    s = Stats(4)
+    s.nodes[0].tx_committed = 3
+    s.nodes[1].tx_committed = 2
+    s.nodes[2].tx_aborted = 5
+    s.nodes[0].tx_attempts = 4
+    s.nodes[1].tx_attempts = 2
+    s.nodes[2].tx_attempts = 5
+    assert s.tx_committed == 5
+    assert s.tx_aborted == 5
+    assert s.abort_rate() == 5 / 11
+
+
+def test_gd_ratio():
+    s = Stats(1)
+    s.nodes[0].good_cycles = 100
+    s.nodes[0].discarded_cycles = 50
+    assert s.gd_ratio() == 2.0
+    s.nodes[0].discarded_cycles = 0
+    assert math.isinf(s.gd_ratio())
+    s.nodes[0].good_cycles = 0
+    assert s.gd_ratio() == 0.0
+
+
+def test_false_aborting_fraction():
+    s = Stats(1)
+    assert s.false_aborting_fraction() == 0.0
+    s.tx_getx_total = 10
+    s.tx_getx_false_aborting = 4
+    assert s.false_aborting_fraction() == 0.4
+
+
+def test_prediction_accuracy():
+    s = Stats(1)
+    assert s.prediction_accuracy() == 0.0
+    s.puno_correct_predictions = 9
+    s.puno_mispredictions = 1
+    assert s.prediction_accuracy() == 0.9
+
+
+def test_summary_keys():
+    s = Stats(2)
+    summary = s.summary()
+    for key in ("execution_cycles", "abort_rate", "network_traffic",
+                "gd_ratio", "false_aborting_fraction"):
+        assert key in summary

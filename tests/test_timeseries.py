@@ -1,0 +1,58 @@
+"""Tests for the time-series sampler."""
+
+import pytest
+
+from repro.analysis.timeseries import Sample, TimeSeriesSampler
+from repro.sim.config import small_config
+from repro.system import System
+from repro.workloads.synthetic import make_synthetic_workload
+
+
+def test_interval_validation():
+    with pytest.raises(ValueError):
+        TimeSeriesSampler(interval=0)
+
+
+def test_sampling_during_run():
+    sampler = TimeSeriesSampler(interval=200)
+    wl = make_synthetic_workload(num_nodes=4, instances=6,
+                                 shared_lines=8, tx_reads=4, tx_writes=1)
+    system = System(small_config(4), wl, "baseline", sampler=sampler)
+    result = system.run(max_cycles=5_000_000)
+    assert len(sampler.samples) >= 2
+    # monotone counters
+    commits = sampler.column("commits")
+    assert commits == sorted(commits)
+    cycles = sampler.column("cycle")
+    assert cycles == sorted(cycles)
+    # the final (stop) sample carries the run's totals
+    assert sampler.samples[-1].commits == result.stats.tx_committed
+
+
+def test_sampler_stops_with_system():
+    sampler = TimeSeriesSampler(interval=50)
+    wl = make_synthetic_workload(num_nodes=4, instances=2,
+                                 shared_lines=8, tx_reads=2, tx_writes=0)
+    system = System(small_config(4), wl, "baseline", sampler=sampler)
+    system.run(max_cycles=5_000_000)
+    n = len(sampler.samples)
+    system.sim.run(until=system.sim.now + 10_000)
+    assert len(sampler.samples) == n  # no samples after stop
+
+
+def test_deltas():
+    s = TimeSeriesSampler(interval=100)
+    s.samples = [
+        Sample(100, 2, 1, 3, 500, 0, 0),
+        Sample(200, 6, 1, 7, 900, 0, 0),
+    ]
+    d = s.deltas()
+    assert len(d) == 1
+    assert d[0]["commits_per_kcycle"] == pytest.approx(40.0)
+    assert d[0]["aborts_per_kcycle"] == 0.0
+    assert d[0]["traffic_per_cycle"] == pytest.approx(4.0)
+
+
+def test_sample_abort_rate():
+    assert Sample(0, 3, 1, 4, 0, 0, 0).abort_rate() == 0.25
+    assert Sample(0, 0, 0, 0, 0, 0, 0).abort_rate() == 0.0

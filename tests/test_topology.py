@@ -1,0 +1,72 @@
+"""Tests for the 2D mesh and DOR routing."""
+
+import pytest
+
+from repro.network.topology import Mesh
+from repro.sim.config import NetworkConfig
+
+
+@pytest.fixture
+def mesh():
+    return Mesh(NetworkConfig())
+
+
+def test_coords_row_major(mesh):
+    assert mesh.coords(0) == (0, 0)
+    assert mesh.coords(3) == (3, 0)
+    assert mesh.coords(4) == (0, 1)
+    assert mesh.coords(15) == (3, 3)
+    with pytest.raises(ValueError):
+        mesh.coords(16)
+
+
+def test_route_is_x_then_y(mesh):
+    # 0=(0,0) -> 15=(3,3): X first to (3,0)=3, then Y down to 15
+    assert mesh.route(0, 15) == [0, 1, 2, 3, 7, 11, 15]
+
+
+def test_route_endpoints_and_length(mesh):
+    for src in range(16):
+        for dst in range(16):
+            path = mesh.route(src, dst)
+            assert path[0] == src and path[-1] == dst
+            assert len(path) == mesh.hops(src, dst) + 1
+
+
+def test_route_self(mesh):
+    assert mesh.route(6, 6) == [6]
+
+
+def test_route_steps_are_neighbors(mesh):
+    path = mesh.route(12, 3)
+    for a, b in zip(path, path[1:]):
+        ax, ay = mesh.coords(a)
+        bx, by = mesh.coords(b)
+        assert abs(ax - bx) + abs(ay - by) == 1
+
+
+def test_hops_symmetric(mesh):
+    for s in range(16):
+        for d in range(16):
+            assert mesh.hops(s, d) == mesh.hops(d, s)
+
+
+def test_manhattan_triangle_inequality(mesh):
+    """d(a,c) <= d(a,b) + d(b,c): the protocol relies on this so an
+    owner's WB_DATA always reaches the home before the requester's
+    UNBLOCK."""
+    for a in range(16):
+        for b in range(16):
+            for c in range(16):
+                assert mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c)
+
+
+def test_avg_latency_cached(mesh):
+    assert mesh.avg_latency == mesh.config.avg_latency()
+
+
+def test_rectangular_mesh():
+    m = Mesh(NetworkConfig(mesh_width=8, mesh_height=2))
+    assert m.num_nodes == 16
+    assert m.coords(9) == (1, 1)
+    assert m.hops(0, 15) == 7 + 1

@@ -1,0 +1,96 @@
+"""Tests for the tracing subsystem."""
+
+import json
+
+import pytest
+
+from repro.sim.config import small_config
+from repro.sim.trace import Tracer
+from repro.system import System
+from repro.workloads.base import Gap, TxInstance, TxOp, Workload
+from repro.workloads.generator import read_ops, write_ops
+from repro.workloads.synthetic import make_synthetic_workload
+
+
+def test_category_filtering():
+    t = Tracer(categories=["tx"])
+    t.emit("tx", 5, event="begin")
+    t.emit("msg", 6, type="GETS")
+    assert len(t.events) == 1
+    assert t.counts["tx"] == 1 and t.counts["msg"] == 0
+
+
+def test_unknown_category_rejected():
+    with pytest.raises(ValueError):
+        Tracer(categories=["bogus"])
+
+
+def test_limit_drops_but_counts():
+    t = Tracer(limit=2)
+    for i in range(5):
+        t.emit("tx", i, event="x")
+    assert len(t.events) == 2
+    assert t.dropped == 3
+    assert t.counts["tx"] == 5
+
+
+def test_filter_by_fields_and_window():
+    t = Tracer()
+    t.emit("msg", 10, addr=0, src=1)
+    t.emit("msg", 20, addr=0, src=2)
+    t.emit("msg", 30, addr=4, src=1)
+    assert len(t.filter(category="msg", addr=0)) == 2
+    assert len(t.filter(start=15, end=25)) == 1
+    assert len(t.filter(src=1)) == 2
+
+
+def test_text_rendering():
+    t = Tracer()
+    t.emit("tx", 7, event="commit", node=3)
+    text = t.text()
+    assert "commit" in text and "node=3" in text
+
+
+def test_jsonl_roundtrip(tmp_path):
+    t = Tracer()
+    t.emit("tx", 1, event="begin", node=0)
+    t.emit("msg", 2, type="GETX", addr=5)
+    path = tmp_path / "trace.jsonl"
+    assert t.write_jsonl(path) == 2
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    assert lines[0] == {"t": 1, "cat": "tx", "event": "begin", "node": 0}
+
+
+def test_system_integration_traces_lifecycle():
+    tracer = Tracer(categories=["tx", "msg", "puno"])
+    wl = make_synthetic_workload(num_nodes=4, instances=4,
+                                 shared_lines=6, tx_reads=3, tx_writes=1,
+                                 seed=1)
+    system = System(small_config(4).with_puno(), wl, "puno", trace=tracer)
+    system.run(max_cycles=5_000_000)
+    begins = tracer.filter(category="tx", event="begin")
+    commits = tracer.filter(category="tx", event="commit")
+    assert len(commits) == wl.total_instances()
+    assert len(begins) >= len(commits)
+    assert tracer.counts["msg"] > 0
+    # commits carry footprint sizes
+    assert all(ev.fields["reads"] >= 0 for ev in commits)
+
+
+def test_conflict_chains_view():
+    tracer = Tracer(categories=["tx"])
+    # guaranteed conflict: old writer kills young reader
+    programs = [
+        [Gap(300), TxInstance(0, read_ops([0], 1, 0)
+                              + [TxOp(False, 100, 600, 1)])],
+        [TxInstance(0, [TxOp(False, 200, 400, 2), TxOp(True, 0, 1, 3)])],
+        [Gap(1)], [Gap(1)],
+    ]
+    system = System(small_config(4), Workload("t", programs), "baseline",
+                    trace=tracer)
+    system.run(max_cycles=5_000_000)
+    chains = tracer.conflict_chains()
+    assert chains
+    t, fields = chains[0]
+    assert fields["cause"] in ("getx_conflict", "gets_conflict")
+    assert "wasted" in fields

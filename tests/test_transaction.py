@@ -1,0 +1,64 @@
+"""Tests for the Transaction object."""
+
+import pytest
+
+from repro.htm.transaction import Transaction, TxStatus
+
+
+def _tx(node=0, ts=10, attempt=1):
+    return Transaction(node=node, static_id=1, instance_id=1,
+                       timestamp=ts, attempt=attempt, start_cycle=0)
+
+
+def test_initial_state():
+    tx = _tx()
+    assert tx.active and not tx.doomed
+    assert tx.read_set == set() and tx.write_set == set()
+    assert tx.footprint() == 0
+
+
+def test_record_read():
+    tx = _tx()
+    tx.record_read(5)
+    assert tx.touches(5) and not tx.wrote(5)
+
+
+def test_record_write_logs_first_value_only():
+    tx = _tx()
+    tx.record_write(5, 100)
+    tx.record_write(5, 101)  # second write must not clobber the log
+    assert tx.undo_log[5] == 100
+    assert tx.wrote(5)
+    assert 5 in tx.read_set  # write implies read permission
+
+
+def test_doom_transitions():
+    tx = _tx()
+    tx.doom("getx_conflict")
+    assert tx.doomed and not tx.active
+    assert tx.abort_cause == "getx_conflict"
+    with pytest.raises(AssertionError):
+        tx.doom("again")
+
+
+def test_tag_carries_identity():
+    tx = _tx(node=3, ts=42)
+    tag = tx.tag(length_hint=99)
+    assert tag.node == 3 and tag.timestamp == 42
+    assert tag.static_id == 1 and tag.length_hint == 99
+
+
+def test_footprint_union():
+    tx = _tx()
+    tx.record_read(1)
+    tx.record_read(2)
+    tx.record_write(2, 0)
+    tx.record_write(3, 0)
+    assert tx.footprint() == 3
+
+
+def test_status_enum_lifecycle():
+    tx = _tx()
+    assert tx.status is TxStatus.RUNNING
+    tx.status = TxStatus.COMMITTED
+    assert not tx.active

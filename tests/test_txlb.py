@@ -1,0 +1,76 @@
+"""Tests for the Transaction Length Buffer (formula (1))."""
+
+from repro.core.txlb import TxLB
+
+
+def test_first_observation_sets_length():
+    t = TxLB()
+    assert t.average_length(0) is None
+    t.update(0, 100)
+    assert t.average_length(0) == 100
+
+
+def test_formula_1_ewma():
+    """StaticTxLen_new = (StaticTxLen_prev + DynTxLen) / 2."""
+    t = TxLB()
+    t.update(0, 100)
+    assert t.update(0, 200) == 150.0
+    assert t.update(0, 50) == 100.0
+
+
+def test_recent_instances_weigh_more():
+    t = TxLB()
+    for _ in range(10):
+        t.update(0, 100)
+    t.update(0, 1000)
+    t.update(0, 1000)
+    # after two recent long instances the estimate is much closer to
+    # 1000 than a plain average of 12 samples would be
+    assert t.average_length(0) > 700
+
+
+def test_estimate_remaining():
+    t = TxLB()
+    assert t.estimate_remaining(0, elapsed=10) == -1  # unseen: no T_est
+    t.update(0, 100)
+    assert t.estimate_remaining(0, elapsed=30) == 70
+    assert t.estimate_remaining(0, elapsed=100) == 0
+    assert t.estimate_remaining(0, elapsed=500) == 0  # clamped
+
+
+def test_independent_static_transactions():
+    t = TxLB()
+    t.update(0, 100)
+    t.update(1, 900)
+    assert t.average_length(0) == 100
+    assert t.average_length(1) == 900
+
+
+def test_overflow_spills_to_software_map():
+    """Paper: 'In the rare case of overflow, the system can resort to a
+    software managed structure.'"""
+    t = TxLB(capacity=2)
+    t.update(0, 10)
+    t.update(1, 20)
+    t.update(2, 30)  # evicts static 0 into the soft map
+    assert t.overflows == 1
+    assert len(t) == 2
+    assert t.average_length(0) == 10  # history preserved in software
+
+
+def test_overflowed_entry_can_return_to_hw():
+    t = TxLB(capacity=2)
+    t.update(0, 10)
+    t.update(1, 20)
+    t.update(2, 30)
+    t.update(0, 30)  # back into hardware, EWMA continues from 10
+    assert t.average_length(0) == 20
+
+
+def test_lru_on_lookup():
+    t = TxLB(capacity=2)
+    t.update(0, 10)
+    t.update(1, 20)
+    t.average_length(0)  # touch 0 so 1 is LRU
+    t.update(2, 30)
+    assert 1 not in t._hw and 0 in t._hw

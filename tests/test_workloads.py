@@ -1,0 +1,222 @@
+"""Tests for workload abstractions and generators."""
+
+import pytest
+
+from repro.workloads.base import (
+    Gap,
+    NonTxOp,
+    TxInstance,
+    TxOp,
+    Workload,
+    validate_program,
+)
+from repro.workloads.generator import (
+    AddressSpace,
+    SharedRegion,
+    interleave_gaps,
+    read_ops,
+    rmw_ops,
+    write_ops,
+)
+from repro.workloads.stamp import (
+    HIGH_CONTENTION,
+    STAMP_WORKLOADS,
+    make_stamp_workload,
+)
+from repro.workloads.synthetic import make_synthetic_workload
+import random
+
+
+def test_txop_counts():
+    inst = TxInstance(0, read_ops([1, 2], 1, 0) + write_ops([3], 1, 10))
+    assert inst.reads == 2 and inst.writes == 1
+
+
+def test_validate_program_accepts_good():
+    validate_program([TxInstance(0, [TxOp(False, 1, 1, 0)]),
+                      NonTxOp(True, 2), Gap(5)])
+
+
+def test_validate_program_rejects_bad():
+    with pytest.raises(ValueError):
+        validate_program([TxInstance(0, [])])
+    with pytest.raises(ValueError):
+        validate_program([Gap(-1)])
+    with pytest.raises(ValueError):
+        validate_program([TxInstance(0, [TxOp(False, -1, 1, 0)])])
+    with pytest.raises(TypeError):
+        validate_program(["not an item"])
+
+
+def test_workload_counting():
+    progs = [[TxInstance(0, [TxOp(False, 1, 1, 0)]), Gap(1)],
+             [NonTxOp(False, 2)]]
+    wl = Workload("w", progs)
+    assert wl.num_nodes == 2
+    assert wl.total_instances() == 1
+    assert wl.total_ops() == 2
+
+
+# ---------------------------------------------------------------------
+# address-space helpers
+# ---------------------------------------------------------------------
+
+def test_address_space_disjoint_regions():
+    space = AddressSpace()
+    a = space.region(10)
+    b = space.region(20)
+    assert a.base + a.size <= b.base
+    assert space.used == 30
+
+
+def test_region_pick_within_bounds():
+    rng = random.Random(0)
+    r = SharedRegion(100, 10)
+    for _ in range(50):
+        assert r.pick(rng) in r
+
+
+def test_pick_distinct():
+    rng = random.Random(0)
+    r = SharedRegion(0, 8)
+    got = r.pick_distinct(rng, 8)
+    assert sorted(got) == list(range(8))
+    assert len(r.pick_distinct(rng, 100)) == 8  # clamped
+
+
+def test_region_slice():
+    r = SharedRegion(100, 10)
+    s = r.slice(2, 3)
+    assert s.base == 102 and s.size == 3
+    with pytest.raises(ValueError):
+        r.slice(8, 5)
+
+
+def test_rmw_ops_pairing():
+    ops = rmw_ops([5, 6], think=1, pc_base=10)
+    assert [o.is_write for o in ops] == [False, True, False, True]
+    assert ops[0].addr == ops[1].addr == 5
+    assert ops[0].pc != ops[1].pc  # load PC distinct from store PC
+
+
+def test_interleave_gaps():
+    rng = random.Random(0)
+    prog = interleave_gaps([NonTxOp(False, 1), NonTxOp(False, 2)],
+                           rng, 5, 10)
+    assert sum(isinstance(i, Gap) for i in prog) == 2
+
+
+# ---------------------------------------------------------------------
+# STAMP analogues
+# ---------------------------------------------------------------------
+
+def test_registry_has_all_eight():
+    assert set(STAMP_WORKLOADS) == {
+        "bayes", "intruder", "labyrinth", "yada",
+        "genome", "kmeans", "ssca2", "vacation",
+    }
+    assert set(HIGH_CONTENTION) == {"bayes", "intruder", "labyrinth",
+                                    "yada"}
+
+
+@pytest.mark.parametrize("name", sorted(STAMP_WORKLOADS))
+def test_stamp_workloads_valid(name):
+    wl = make_stamp_workload(name, num_nodes=4, scale=0.2)
+    assert wl.num_nodes == 4
+    assert wl.total_instances() > 0
+    for prog in wl.programs:
+        validate_program(prog)
+
+
+@pytest.mark.parametrize("name", sorted(STAMP_WORKLOADS))
+def test_stamp_deterministic(name):
+    a = make_stamp_workload(name, num_nodes=4, scale=0.2)
+    b = make_stamp_workload(name, num_nodes=4, scale=0.2)
+    assert a.programs == b.programs
+
+
+def test_stamp_seed_perturbs(name="vacation"):
+    a = make_stamp_workload(name, num_nodes=4, scale=0.2, seed=0)
+    b = make_stamp_workload(name, num_nodes=4, scale=0.2, seed=1)
+    assert a.programs != b.programs
+
+
+def test_stamp_scale_changes_instances():
+    small = make_stamp_workload("kmeans", scale=0.2)
+    big = make_stamp_workload("kmeans", scale=1.0)
+    assert big.total_instances() > small.total_instances()
+
+
+def test_unknown_stamp_name():
+    with pytest.raises(KeyError):
+        make_stamp_workload("nope")
+
+
+def test_labyrinth_structure():
+    """Labyrinth must have large read sets and small writes into the
+    grid — the property Section IV-D leans on."""
+    wl = make_stamp_workload("labyrinth", scale=0.5)
+    for prog in wl.programs:
+        for item in prog:
+            if isinstance(item, TxInstance):
+                assert item.reads >= 30
+                assert 1 <= item.writes <= 6
+
+
+def test_kmeans_is_rmw():
+    wl = make_stamp_workload("kmeans", scale=0.2)
+    inst = next(i for i in wl.programs[0] if isinstance(i, TxInstance))
+    writes = [o.addr for o in inst.ops if o.is_write]
+    reads = [o.addr for o in inst.ops if not o.is_write]
+    assert all(w in reads for w in writes)
+
+
+def test_partitioned_writes_in_bayes():
+    """Write sets stay in per-node partitions (no W-W conflicts by
+    construction)."""
+    wl = make_stamp_workload("bayes", num_nodes=4, scale=0.5)
+    per_node_writes = []
+    for prog in wl.programs:
+        ws = set()
+        for item in prog:
+            if isinstance(item, TxInstance):
+                ws |= {o.addr for o in item.ops if o.is_write}
+        per_node_writes.append(ws)
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not (per_node_writes[i] & per_node_writes[j])
+
+
+# ---------------------------------------------------------------------
+# synthetic microbenchmarks
+# ---------------------------------------------------------------------
+
+def test_synthetic_basic():
+    wl = make_synthetic_workload(num_nodes=4, instances=5)
+    assert wl.total_instances() == 20
+    for prog in wl.programs:
+        validate_program(prog)
+
+
+def test_synthetic_write_in_read_set():
+    wl = make_synthetic_workload(num_nodes=2, instances=3,
+                                 write_in_read_set=True)
+    for prog in wl.programs:
+        for item in prog:
+            if isinstance(item, TxInstance):
+                reads = {o.addr for o in item.ops if not o.is_write}
+                writes = {o.addr for o in item.ops if o.is_write}
+                assert writes <= reads
+
+
+def test_synthetic_rmw_mode():
+    wl = make_synthetic_workload(num_nodes=2, instances=2, rmw=True,
+                                 tx_reads=4, tx_writes=2)
+    inst = next(i for i in wl.programs[0] if isinstance(i, TxInstance))
+    assert inst.writes == 2
+
+
+def test_synthetic_rejects_bad_params():
+    with pytest.raises(ValueError):
+        make_synthetic_workload(tx_reads=2, tx_writes=5,
+                                write_in_read_set=True)
