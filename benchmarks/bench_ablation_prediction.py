@@ -9,7 +9,7 @@ accuracy usable; this bench quantifies both.
 """
 
 from repro.sim.config import SystemConfig
-from repro.system import run_workload
+from repro.sim.resultcache import cached_run_workload
 from repro.analysis.report import render_table
 from repro.workloads.stamp import HIGH_CONTENTION, make_stamp_workload
 
@@ -23,7 +23,8 @@ def _run():
             cfg = SystemConfig().with_puno(reader_epoch_filter=epoch)
             wl = make_stamp_workload(name, scale=BENCH_SCALE,
                                      seed=BENCH_SEED)
-            out[(name, epoch)] = run_workload(cfg, wl, cm="puno").stats
+            out[(name, epoch)] = cached_run_workload(cfg, wl,
+                                                     cm="puno").stats
     return out
 
 

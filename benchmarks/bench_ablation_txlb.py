@@ -6,7 +6,7 @@ notification cap bounds how long a requester trusts one estimate.
 """
 
 from repro.sim.config import SystemConfig
-from repro.system import run_workload
+from repro.sim.resultcache import cached_run_workload
 from repro.analysis.report import render_table
 from repro.workloads.stamp import make_stamp_workload
 
@@ -25,7 +25,7 @@ def _run():
     for label, cfg in variants.items():
         wl = make_stamp_workload("bayes", scale=BENCH_SCALE,
                                  seed=BENCH_SEED)
-        out[label] = run_workload(cfg, wl, cm="puno").stats
+        out[label] = cached_run_workload(cfg, wl, cm="puno").stats
     return out
 
 

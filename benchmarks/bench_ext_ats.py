@@ -6,7 +6,7 @@ scheduler alone and composed with PUNO on a high-contention workload.
 """
 
 from repro.sim.config import SystemConfig
-from repro.system import run_workload
+from repro.sim.resultcache import cached_run_workload
 from repro.analysis.report import render_table
 from repro.workloads.stamp import make_stamp_workload
 
@@ -24,7 +24,7 @@ def _run():
     for label, (cm, cfg) in variants.items():
         wl = make_stamp_workload("labyrinth", scale=BENCH_SCALE,
                                  seed=BENCH_SEED)
-        out[label] = run_workload(cfg, wl, cm=cm).stats
+        out[label] = cached_run_workload(cfg, wl, cm=cm).stats
     return out
 
 

@@ -1,0 +1,67 @@
+"""Wall-clock recorder for the bench suite.
+
+Collected by pytest alongside the benches but defines no tests itself;
+``benchmarks/conftest.py`` wires :class:`TimingRecorder` into the run
+via hooks.  Every bench session appends one record to
+``benchmarks/results/timing.json``::
+
+    {
+      "timestamp": "2026-08-06T12:00:00+00:00",
+      "scale": 0.4, "seed": 0, "jobs": 4, "cpus": 8,
+      "cache_enabled": true,
+      "total_seconds": 123.4,
+      "benches": {"benchmarks/bench_fig10_aborts.py::...": 1.2, ...}
+    }
+
+so future changes have a per-bench wall-clock trajectory to regress
+against (compare like-for-like records: same scale/jobs/cache state).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import pathlib
+from typing import Dict, Optional
+
+
+class TimingRecorder:
+    """Accumulates per-bench wall seconds, appends one JSON record."""
+
+    def __init__(self, path: pathlib.Path):
+        self.path = pathlib.Path(path)
+        self.benches: Dict[str, float] = {}
+
+    def record(self, name: str, seconds: float) -> None:
+        self.benches[name] = round(
+            self.benches.get(name, 0.0) + seconds, 4)
+
+    def flush(self, scale: float, seed: int, jobs: int,
+              cache_enabled: bool,
+              timestamp: Optional[str] = None) -> None:
+        """Append this session's record (no-op when nothing ran)."""
+        if not self.benches:
+            return
+        history = []
+        try:
+            history = json.loads(self.path.read_text())
+            if not isinstance(history, list):
+                history = []
+        except (OSError, ValueError):
+            history = []
+        if timestamp is None:
+            timestamp = datetime.datetime.now(
+                datetime.timezone.utc).isoformat(timespec="seconds")
+        history.append({
+            "timestamp": timestamp,
+            "scale": scale,
+            "seed": seed,
+            "jobs": jobs,
+            "cpus": os.cpu_count() or 1,
+            "cache_enabled": cache_enabled,
+            "total_seconds": round(sum(self.benches.values()), 4),
+            "benches": dict(sorted(self.benches.items())),
+        })
+        self.path.parent.mkdir(exist_ok=True)
+        self.path.write_text(json.dumps(history, indent=1) + "\n")

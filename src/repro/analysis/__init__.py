@@ -5,6 +5,8 @@
 * :mod:`repro.analysis.falseabort` — the Fig. 2/3 classification,
 * :mod:`repro.analysis.report` — ASCII table/series rendering,
 * :mod:`repro.analysis.sweep` — multi-run comparison harness,
+* :mod:`repro.analysis.parallel` — process-pool sweep execution over
+  picklable task descriptors,
 * :mod:`repro.analysis.experiments` — one entry point per paper table
   and figure (the benchmarks call these).
 """
@@ -19,11 +21,21 @@ from repro.analysis.falseabort import (
     false_abort_rate,
     victim_distribution,
 )
+from repro.analysis.parallel import (
+    SweepTask,
+    TaskResult,
+    WorkloadSpec,
+    run_tasks,
+)
 from repro.analysis.report import render_table, render_series
 from repro.analysis.sweep import SchemeSweep, SweepResult
 from repro.analysis import experiments
 
 __all__ = [
+    "SweepTask",
+    "TaskResult",
+    "WorkloadSpec",
+    "run_tasks",
     "normalized",
     "geomean",
     "high_contention_average",

@@ -18,11 +18,11 @@ from typing import Callable, Dict, List, Optional
 
 from repro.analysis.falseabort import breakdown, victim_distribution
 from repro.analysis.metrics import MetricTable, high_contention_average
+from repro.analysis.parallel import WorkloadSpec
 from repro.analysis.report import render_grouped, render_series, render_table
 from repro.analysis.sweep import SchemeSweep, SweepResult, paper_schemes
 from repro.core.hw_model import estimate_overhead
 from repro.sim.config import SystemConfig
-from repro.system import run_workload
 from repro.workloads.stamp import (
     HIGH_CONTENTION,
     STAMP_WORKLOADS,
@@ -54,25 +54,33 @@ def _workload_factories(scale: float, seed: int,
     }
 
 
-def _baseline_stats(scale: float, seed: int,
-                    names: Optional[List[str]] = None):
-    out = {}
+def _workload_specs(scale: float, seed: int,
+                    names: Optional[List[str]] = None
+                    ) -> Dict[str, WorkloadSpec]:
+    """Picklable sweep inputs — required for ``jobs`` > 1."""
     names = names or list(STAMP_WORKLOADS)
-    for n in names:
-        wl = make_stamp_workload(n, scale=scale, seed=seed)
-        out[n] = run_workload(SystemConfig(), wl, cm="baseline",
-                              max_cycles=200_000_000).stats
-    return out
+    return {n: WorkloadSpec(n, scale=scale, seed=seed) for n in names}
+
+
+def _baseline_stats(scale: float, seed: int,
+                    names: Optional[List[str]] = None,
+                    jobs: int = 1):
+    specs = _workload_specs(scale, seed, names)
+    sweep = SchemeSweep({"baseline": ("baseline", SystemConfig())},
+                        jobs=jobs)
+    result = sweep.run(specs)
+    return {n: result.stats[n]["baseline"] for n in specs}
 
 
 # =====================================================================
 # Tables
 # =====================================================================
 
-def table1(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+def table1(scale: float = 1.0, seed: int = 0,
+           jobs: int = 1) -> ExperimentResult:
     """Table I: benchmark inputs + measured baseline abort %."""
     rows = []
-    stats = _baseline_stats(scale, seed)
+    stats = _baseline_stats(scale, seed, jobs=jobs)
     for name, meta in STAMP_WORKLOADS.items():
         s = stats[name]
         rows.append({
@@ -122,9 +130,10 @@ def table3() -> ExperimentResult:
 # Motivation figures (baseline only)
 # =====================================================================
 
-def fig2(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+def fig2(scale: float = 1.0, seed: int = 0,
+         jobs: int = 1) -> ExperimentResult:
     """Fig. 2: % of transactional GETX that trigger false aborts."""
-    stats = _baseline_stats(scale, seed)
+    stats = _baseline_stats(scale, seed, jobs=jobs)
     series = {n: 100 * s.false_aborting_fraction() for n, s in stats.items()}
     series["average"] = sum(series.values()) / len(series)
     brk = {n: breakdown(s) for n, s in stats.items()}
@@ -137,11 +146,12 @@ def fig2(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 def fig3(scale: float = 1.0, seed: int = 0,
-         names: Optional[List[str]] = None) -> ExperimentResult:
+         names: Optional[List[str]] = None,
+         jobs: int = 1) -> ExperimentResult:
     """Fig. 3: distribution of #unnecessarily-aborted transactions per
     false-aborting request (high-contention workloads)."""
     names = names or list(HIGH_CONTENTION)
-    stats = _baseline_stats(scale, seed, names)
+    stats = _baseline_stats(scale, seed, names, jobs=jobs)
     dists = {n: victim_distribution(s) for n, s in stats.items()}
     rows = []
     buckets = sorted({k for d in dists.values() for k in d})
@@ -162,10 +172,11 @@ def fig3(scale: float = 1.0, seed: int = 0,
 
 def _comparison(metric: str, title: str, scale: float, seed: int,
                 sweep_result: Optional[SweepResult] = None,
-                larger_is_better: bool = False) -> ExperimentResult:
+                larger_is_better: bool = False,
+                jobs: int = 1) -> ExperimentResult:
     if sweep_result is None:
-        sweep = SchemeSweep(paper_schemes())
-        sweep_result = sweep.run(_workload_factories(scale, seed))
+        sweep = SchemeSweep(paper_schemes(), jobs=jobs)
+        sweep_result = sweep.run(_workload_specs(scale, seed))
     table = sweep_result.normalized(metric)
     hc_avg = {
         s: high_contention_average(table.column(s), HIGH_CONTENTION)
@@ -185,46 +196,53 @@ def _comparison(metric: str, title: str, scale: float, seed: int,
 
 
 def fig10(scale: float = 1.0, seed: int = 0,
-          sweep_result: Optional[SweepResult] = None) -> ExperimentResult:
+          sweep_result: Optional[SweepResult] = None,
+          jobs: int = 1) -> ExperimentResult:
     """Fig. 10: normalized transaction aborts."""
     return _comparison("aborts", "Fig. 10 — normalized transaction aborts",
-                       scale, seed, sweep_result)
+                       scale, seed, sweep_result, jobs=jobs)
 
 
 def fig11(scale: float = 1.0, seed: int = 0,
-          sweep_result: Optional[SweepResult] = None) -> ExperimentResult:
+          sweep_result: Optional[SweepResult] = None,
+          jobs: int = 1) -> ExperimentResult:
     """Fig. 11: normalized on-chip network traffic (router traversals)."""
     return _comparison("traffic", "Fig. 11 — normalized network traffic",
-                       scale, seed, sweep_result)
+                       scale, seed, sweep_result, jobs=jobs)
 
 
 def fig12(scale: float = 1.0, seed: int = 0,
-          sweep_result: Optional[SweepResult] = None) -> ExperimentResult:
+          sweep_result: Optional[SweepResult] = None,
+          jobs: int = 1) -> ExperimentResult:
     """Fig. 12: normalized directory blocked cycles on tx GETX."""
     return _comparison("dir_blocking",
                        "Fig. 12 — normalized directory blocking",
-                       scale, seed, sweep_result)
+                       scale, seed, sweep_result, jobs=jobs)
 
 
 def fig13(scale: float = 1.0, seed: int = 0,
-          sweep_result: Optional[SweepResult] = None) -> ExperimentResult:
+          sweep_result: Optional[SweepResult] = None,
+          jobs: int = 1) -> ExperimentResult:
     """Fig. 13: normalized execution time."""
     return _comparison("exec", "Fig. 13 — normalized execution time",
-                       scale, seed, sweep_result)
+                       scale, seed, sweep_result, jobs=jobs)
 
 
 def fig14(scale: float = 1.0, seed: int = 0,
-          sweep_result: Optional[SweepResult] = None) -> ExperimentResult:
+          sweep_result: Optional[SweepResult] = None,
+          jobs: int = 1) -> ExperimentResult:
     """Fig. 14: normalized G/D ratio (larger is better)."""
     return _comparison("gd_ratio", "Fig. 14 — normalized G/D ratio",
-                       scale, seed, sweep_result, larger_is_better=True)
+                       scale, seed, sweep_result, larger_is_better=True,
+                       jobs=jobs)
 
 
 def full_evaluation(scale: float = 1.0, seed: int = 0,
-                    verbose: bool = False) -> Dict[str, ExperimentResult]:
+                    verbose: bool = False,
+                    jobs: int = 1) -> Dict[str, ExperimentResult]:
     """Run the whole evaluation section with one shared sweep."""
-    sweep = SchemeSweep(paper_schemes())
-    result = sweep.run(_workload_factories(scale, seed), verbose=verbose)
+    sweep = SchemeSweep(paper_schemes(), jobs=jobs)
+    result = sweep.run(_workload_specs(scale, seed), verbose=verbose)
     return {
         "fig10": fig10(sweep_result=result),
         "fig11": fig11(sweep_result=result),
@@ -235,7 +253,7 @@ def full_evaluation(scale: float = 1.0, seed: int = 0,
 
 
 def seed_averaged_evaluation(scale: float = 1.0, seeds: int = 3,
-                             verbose: bool = False
+                             verbose: bool = False, jobs: int = 1
                              ) -> Dict[str, ExperimentResult]:
     """Figs. 10-14 with per-workload normalized ratios averaged over
     ``seeds`` independently generated workload instances.
@@ -249,8 +267,8 @@ def seed_averaged_evaluation(scale: float = 1.0, seeds: int = 3,
                                    ("aborts", "traffic", "dir_blocking",
                                     "exec", "gd_ratio")}
     for s in range(seeds):
-        sweep = SchemeSweep(paper_schemes())
-        result = sweep.run(_workload_factories(scale, s), verbose=verbose)
+        sweep = SchemeSweep(paper_schemes(), jobs=jobs)
+        result = sweep.run(_workload_specs(scale, s), verbose=verbose)
         for metric, acc in per_metric.items():
             acc.append(result.normalized(metric))
     titles = {

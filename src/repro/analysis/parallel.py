@@ -1,0 +1,161 @@
+"""Process-pool sweep execution.
+
+Every cell of an evaluation grid (one workload under one scheme) is an
+independent simulation, so a sweep is embarrassingly parallel.  This
+module runs grids across a :mod:`multiprocessing` pool driven by
+*picklable task descriptors* — a :class:`WorkloadSpec` naming how to
+rebuild the workload (name / scale / seed / node count) plus the scheme
+name and frozen :class:`~repro.sim.config.SystemConfig` — never live
+``Workload`` or ``System`` objects.  Each worker rebuilds its workload
+from the spec, consults the on-disk result cache
+(:mod:`repro.sim.resultcache`), simulates on a miss, and ships the
+:class:`~repro.sim.stats.Stats` back.
+
+Results are assembled in task-submission order (``Pool.map`` preserves
+it), so a parallel sweep is bit-identical to the serial path: same
+per-cell Stats, same grid iteration order, independent of worker
+scheduling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.config import SystemConfig
+from repro.sim.resultcache import ResultCache, cache_enabled, \
+    cached_run_workload
+from repro.sim.stats import Stats
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A picklable recipe for rebuilding one workload in a worker.
+
+    ``kind`` selects the factory: ``"stamp"`` (the eight paper
+    analogues, parameterized by ``scale``/``seed``) or ``"synthetic"``
+    (the contention microbenchmark; extra keyword arguments travel in
+    ``params`` as a tuple of items so the spec stays hashable).
+    """
+
+    name: str
+    kind: str = "stamp"
+    num_nodes: int = 16
+    scale: float = 1.0
+    seed: int = 0
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def build(self) -> Workload:
+        if self.kind == "stamp":
+            from repro.workloads.stamp import make_stamp_workload
+            return make_stamp_workload(self.name, num_nodes=self.num_nodes,
+                                       scale=self.scale, seed=self.seed)
+        if self.kind == "synthetic":
+            from repro.workloads.synthetic import make_synthetic_workload
+            kwargs = dict(self.params)
+            kwargs.setdefault("name", self.name)
+            return make_synthetic_workload(num_nodes=self.num_nodes,
+                                           seed=self.seed, **kwargs)
+        raise ValueError(f"unknown workload kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One grid cell: simulate ``spec`` under ``(cm, config)``.
+
+    ``workload``/``scheme`` are the row/column labels the result is
+    filed under; everything here pickles cleanly across process
+    boundaries.
+    """
+
+    workload: str
+    scheme: str
+    cm: str
+    config: SystemConfig
+    spec: WorkloadSpec
+    max_cycles: Optional[int] = None
+    audit: bool = True
+    use_cache: bool = True
+    cache_dir: Optional[str] = None
+
+
+@dataclass
+class TaskResult:
+    """What a worker ships back for one cell."""
+
+    workload: str
+    scheme: str
+    stats: Stats
+    wall_seconds: float
+    cache_hit: bool
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs`` request: None/0 -> all cores, floor 1."""
+    if jobs is None or jobs == 0:
+        jobs = os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def run_task(task: SweepTask) -> TaskResult:
+    """Execute one cell (worker entry point; must stay module-level
+    so it pickles under every multiprocessing start method)."""
+    workload = task.spec.build()
+    cache: object = False
+    if task.use_cache and cache_enabled():
+        cache = ResultCache(task.cache_dir)
+    t0 = time.perf_counter()
+    result = cached_run_workload(task.config, workload, cm=task.cm,
+                                 max_cycles=task.max_cycles,
+                                 audit=task.audit, cache=cache)
+    wall = time.perf_counter() - t0
+    return TaskResult(task.workload, task.scheme, result.stats, wall,
+                      bool(result.extras.get("cache_hit")))
+
+
+def _pool_context():
+    """Prefer fork (cheap, POSIX) and fall back to the default."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_tasks(tasks: Iterable[SweepTask],
+              jobs: Optional[int] = None) -> List[TaskResult]:
+    """Run tasks across ``jobs`` worker processes, results in input
+    order.
+
+    ``jobs <= 1`` (after resolution) executes in-process — the same
+    code path the workers run, so serial and parallel sweeps differ
+    only in scheduling.  A worker that raises propagates the exception
+    to the caller; no partial grid is returned.
+    """
+    task_list = list(tasks)
+    n = resolve_jobs(jobs)
+    if n <= 1 or len(task_list) <= 1:
+        return [run_task(t) for t in task_list]
+    ctx = _pool_context()
+    with ctx.Pool(processes=min(n, len(task_list))) as pool:
+        return pool.map(run_task, task_list)
+
+
+def grid_tasks(schemes: Dict[str, Tuple[str, SystemConfig]],
+               specs: Dict[str, WorkloadSpec],
+               max_cycles: Optional[int] = None,
+               audit: bool = True,
+               use_cache: bool = True,
+               cache_dir: Optional[str] = None) -> List[SweepTask]:
+    """The full workload x scheme cross product as task descriptors,
+    in the (workload-major) order the serial sweep iterates."""
+    return [
+        SweepTask(wl_name, scheme_name, cm, config, spec,
+                  max_cycles=max_cycles, audit=audit,
+                  use_cache=use_cache, cache_dir=cache_dir)
+        for wl_name, spec in specs.items()
+        for scheme_name, (cm, config) in schemes.items()
+    ]

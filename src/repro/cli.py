@@ -28,16 +28,22 @@ from repro.workloads.synthetic import make_synthetic_workload
 SCHEMES = ("baseline", "backoff", "rmw", "puno")
 
 EXPERIMENTS = {
-    "table1": lambda a: experiments_mod.table1(a.scale, a.seed),
+    "table1": lambda a: experiments_mod.table1(a.scale, a.seed,
+                                               jobs=a.jobs),
     "table2": lambda a: experiments_mod.table2(),
     "table3": lambda a: experiments_mod.table3(),
-    "fig2": lambda a: experiments_mod.fig2(a.scale, a.seed),
-    "fig3": lambda a: experiments_mod.fig3(a.scale, a.seed),
-    "fig10": lambda a: experiments_mod.fig10(a.scale, a.seed),
-    "fig11": lambda a: experiments_mod.fig11(a.scale, a.seed),
-    "fig12": lambda a: experiments_mod.fig12(a.scale, a.seed),
-    "fig13": lambda a: experiments_mod.fig13(a.scale, a.seed),
-    "fig14": lambda a: experiments_mod.fig14(a.scale, a.seed),
+    "fig2": lambda a: experiments_mod.fig2(a.scale, a.seed, jobs=a.jobs),
+    "fig3": lambda a: experiments_mod.fig3(a.scale, a.seed, jobs=a.jobs),
+    "fig10": lambda a: experiments_mod.fig10(a.scale, a.seed,
+                                             jobs=a.jobs),
+    "fig11": lambda a: experiments_mod.fig11(a.scale, a.seed,
+                                             jobs=a.jobs),
+    "fig12": lambda a: experiments_mod.fig12(a.scale, a.seed,
+                                             jobs=a.jobs),
+    "fig13": lambda a: experiments_mod.fig13(a.scale, a.seed,
+                                             jobs=a.jobs),
+    "fig14": lambda a: experiments_mod.fig14(a.scale, a.seed,
+                                             jobs=a.jobs),
 }
 
 
@@ -49,6 +55,29 @@ def _make_workload(args):
             tx_writes=args.tx_writes, seed=args.seed)
     return make_stamp_workload(args.workload, num_nodes=args.nodes,
                                scale=args.scale, seed=args.seed)
+
+
+def _make_spec(args):
+    """The picklable WorkloadSpec equivalent of :func:`_make_workload`."""
+    from repro.analysis.parallel import WorkloadSpec
+    if args.workload == "synthetic":
+        return WorkloadSpec(
+            "synthetic", kind="synthetic", num_nodes=args.nodes,
+            seed=args.seed,
+            params=(("instances", args.instances),
+                    ("shared_lines", args.shared_lines),
+                    ("tx_reads", args.tx_reads),
+                    ("tx_writes", args.tx_writes)))
+    return WorkloadSpec(args.workload, num_nodes=args.nodes,
+                        scale=args.scale, seed=args.seed)
+
+
+def _apply_cache_flag(args) -> None:
+    """``--no-cache`` disables the result cache for the whole process
+    (including sweep worker processes, which inherit the environment)."""
+    import os
+    if getattr(args, "no_cache", False):
+        os.environ["REPRO_NO_CACHE"] = "1"
 
 
 def _make_config(args, scheme: str) -> SystemConfig:
@@ -139,19 +168,21 @@ def cmd_compare(args) -> int:
     if unknown:
         print(f"unknown scheme(s): {sorted(unknown)}", file=sys.stderr)
         return 2
+    _apply_cache_flag(args)
+    from repro.analysis.sweep import SchemeSweep
+    sweep = SchemeSweep(
+        {s: (s, _make_config(args, s)) for s in schemes},
+        max_cycles=args.max_cycles, jobs=args.jobs)
+    result = sweep.run({args.workload: _make_spec(args)})
+    grid = result.stats[args.workload]
     rows: List[Dict[str, object]] = []
-    base_stats = None
+    base_stats = grid[schemes[0]]
     for scheme in schemes:
-        wl = _make_workload(args)
-        cfg = _make_config(args, scheme)
-        result = run_workload(cfg, wl, cm=scheme,
-                              max_cycles=args.max_cycles)
-        row = _stats_row(scheme, result.stats)
-        if base_stats is None:
-            base_stats = result.stats
-        row["aborts x"] = round(result.stats.tx_aborted
+        stats = grid[scheme]
+        row = _stats_row(scheme, stats)
+        row["aborts x"] = round(stats.tx_aborted
                                 / max(base_stats.tx_aborted, 1), 3)
-        row["exec x"] = round(result.stats.execution_cycles
+        row["exec x"] = round(stats.execution_cycles
                               / base_stats.execution_cycles, 3)
         rows.append(row)
     print(render_table(rows, title=f"{args.workload}: scheme comparison "
@@ -165,6 +196,7 @@ def cmd_experiment(args) -> int:
         print(f"unknown experiment {args.name!r}; choices: "
               f"{sorted(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    _apply_cache_flag(args)
     result = fn(args)
     print(result.text)
     return 0
@@ -225,17 +257,27 @@ def build_parser() -> argparse.ArgumentParser:
                                  "workload (no simulation)")
     common(char_p)
 
+    def parallel_opts(sp):
+        sp.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep "
+                             "(0 = all cores)")
+        sp.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache "
+                             "(same as REPRO_NO_CACHE=1)")
+
     cmp_p = sub.add_parser("compare", help="compare schemes")
     common(cmp_p)
     cmp_p.add_argument("--schemes", default=None,
                        help="comma-separated subset of "
                             f"{','.join(SCHEMES)}")
+    parallel_opts(cmp_p)
 
     exp_p = sub.add_parser("experiment",
                            help="regenerate one paper table/figure")
     exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
     exp_p.add_argument("--scale", type=float, default=0.4)
     exp_p.add_argument("--seed", type=int, default=0)
+    parallel_opts(exp_p)
 
     area_p = sub.add_parser("area", help="Table III area/power model")
     area_p.add_argument("--pbuffer", type=int, default=16)

@@ -18,8 +18,18 @@ from repro.sim.config import (
 )
 from repro.sim.stats import Stats, Histogram
 from repro.sim.rng import RngFactory
+from repro.sim.resultcache import (
+    ResultCache,
+    cache_key,
+    cached_run_workload,
+    default_cache,
+)
 
 __all__ = [
+    "ResultCache",
+    "cache_key",
+    "cached_run_workload",
+    "default_cache",
     "Simulator",
     "Event",
     "CacheConfig",

@@ -6,12 +6,36 @@ are fully deterministic.  The engine is deliberately minimal — the whole
 simulator is built out of components that schedule follow-up work on
 each other, which keeps the hot path (one heap push/pop per event) cheap
 enough for multi-million-event runs in pure Python.
+
+Hot-path notes
+--------------
+
+* The engine tracks the number of *live* (non-cancelled) queued events,
+  so :meth:`Simulator.idle` is O(1) instead of an O(n) heap scan.
+* Cancelled events normally stay in the heap until they surface at the
+  top, but once they exceed half the heap (and a small absolute floor)
+  the heap is compacted in place — long runs with heavy
+  cancel-and-reschedule traffic (node timeouts, PUNO timers) no longer
+  drag a tail of dead entries through every sift.
+* ``schedule`` validation (negative-delay check, int coercion) can be
+  skipped by running ``python -O`` or setting ``REPRO_ENGINE_FAST=1``;
+  every internal caller passes non-negative ints, so release runs take
+  the fast path.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Any, Callable, List, Optional, Tuple
+
+# Validation is on by default (and under pytest); `python -O` or
+# REPRO_ENGINE_FAST=1 drops it from the per-schedule hot path.
+_VALIDATE = __debug__ and os.environ.get("REPRO_ENGINE_FAST", "0") != "1"
+
+# Compact the heap when cancelled entries outnumber live ones and
+# there are at least this many of them (avoids churn on tiny heaps).
+_PURGE_FLOOR = 64
 
 
 class Event:
@@ -21,18 +45,29 @@ class Event:
     FIFO ordering among events scheduled for the same cycle.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any],
+                 args: Tuple[Any, ...], sim: "Optional[Simulator]" = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.sim = sim  # backref for live-event accounting; None once run
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it when it surfaces."""
+        """Mark the event so the engine skips it when it surfaces.
+
+        Idempotent; cancelling an event that already executed is a
+        no-op (the engine drops its backref on execution).
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self.sim
+        if sim is not None:
+            sim._on_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -52,6 +87,10 @@ class Simulator:
         self._seq: int = 0
         self._running = False
         self.events_processed: int = 0
+        # live = queued and not cancelled; cancelled entries still in
+        # the heap are tracked separately to drive lazy compaction.
+        self._live: int = 0
+        self._cancelled_in_heap: int = 0
 
     # ------------------------------------------------------------------
     # scheduling
@@ -62,10 +101,13 @@ class Simulator:
         ``delay`` must be non-negative; a zero delay runs later in the
         current cycle (after already-queued same-cycle events).
         """
-        if delay < 0:
-            raise ValueError(f"negative delay {delay}")
-        ev = Event(self.now + int(delay), self._seq, fn, args)
+        if _VALIDATE:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            delay = int(delay)
+        ev = Event(self.now + delay, self._seq, fn, args, self)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, ev)
         return ev
 
@@ -76,28 +118,63 @@ class Simulator:
         return self.schedule(time - self.now, fn, *args)
 
     # ------------------------------------------------------------------
+    # cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _on_cancel(self) -> None:
+        """Called by :meth:`Event.cancel` for a still-queued event."""
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        if (self._cancelled_in_heap >= _PURGE_FLOOR
+                and self._cancelled_in_heap * 2 >= len(self._heap)):
+            self._purge()
+
+    def _purge(self) -> None:
+        """Compact the heap in place, dropping cancelled entries.
+
+        Mutates the existing list (slice assignment) so aliases held by
+        a running :meth:`run` loop stay valid.
+        """
+        self._heap[:] = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run until the heap drains, ``until`` cycles pass, or
         ``max_events`` events execute.  Returns the final clock value.
+
+        Clock semantics with both limits: the clock only advances to
+        ``until`` when everything scheduled up to ``until`` actually
+        executed (cancelled events never count against ``max_events``
+        and never hold the clock back); if the event budget expires with
+        a live event still pending at or before ``until``, the clock
+        stays at the last executed event.
         """
         if self._running:
             raise RuntimeError("simulator is not re-entrant")
         self._running = True
         try:
+            heap = self._heap  # identity-stable: _purge compacts in place
+            pop = heapq.heappop
             budget = max_events
-            while self._heap:
-                if until is not None and self._heap[0].time > until:
+            while heap:
+                ev = heap[0]
+                if ev.cancelled:
+                    pop(heap)
+                    self._cancelled_in_heap -= 1
+                    continue
+                if until is not None and ev.time > until:
                     self.now = until
                     break
                 if budget is not None and budget == 0:
                     break
-                ev = heapq.heappop(self._heap)
-                if ev.cancelled:
-                    continue
+                pop(heap)
                 if budget is not None:
                     budget -= 1
+                self._live -= 1
+                ev.sim = None  # executed: later cancel() is a no-op
                 self.now = ev.time
                 self.events_processed += 1
                 ev.fn(*ev.args)
@@ -110,10 +187,14 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns False when idle."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
             if ev.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
+            self._live -= 1
+            ev.sim = None
             self.now = ev.time
             self.events_processed += 1
             ev.fn(*ev.args)
@@ -125,5 +206,10 @@ class Simulator:
         """Number of queued (possibly cancelled) events."""
         return len(self._heap)
 
+    @property
+    def live_events(self) -> int:
+        """Number of queued non-cancelled events (O(1))."""
+        return self._live
+
     def idle(self) -> bool:
-        return not any(not e.cancelled for e in self._heap)
+        return self._live == 0

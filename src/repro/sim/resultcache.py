@@ -1,0 +1,268 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Every cell of an evaluation grid is a pure function of (system
+configuration, workload contents, contention-manager name) — the
+workload contents already encode scale and seed, and ``config.seed``
+covers the simulator-side randomness.  This module hashes exactly that
+tuple (plus the package version and a digest of the package sources, so
+stale results can never survive a code change) into a key, and stores
+the pickled :class:`~repro.sim.stats.Stats` under it.  A cache hit
+skips the simulation entirely, which makes repeated sweeps — the bench
+suite, ``repro experiment``, notebook iteration — near-instant.
+
+Layout: ``<root>/<key[:2]>/<key>.pkl`` with atomic writes (tempfile +
+``os.replace``), so concurrent sweep workers can share one cache
+directory safely.
+
+Escape hatches:
+
+* ``REPRO_NO_CACHE=1`` (env) disables the default cache globally,
+* ``--no-cache`` on the CLI sets the same variable for the process,
+* ``REPRO_CACHE_DIR`` relocates the cache (default:
+  ``.repro-cache/`` under the current working directory).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.sim.config import SystemConfig
+from repro.sim.stats import Stats
+from repro.workloads.base import Gap, NonTxOp, TxInstance, Workload
+
+ENV_DISABLE = "REPRO_NO_CACHE"
+ENV_DIR = "REPRO_CACHE_DIR"
+DEFAULT_DIRNAME = ".repro-cache"
+
+# Anything in CacheLike except an explicit ResultCache means "resolve
+# it": True -> process default, None/False -> disabled, path -> there.
+CacheLike = Union[None, bool, str, Path, "ResultCache"]
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_NO_CACHE`` is set (to anything but 0/empty)."""
+    return os.environ.get(ENV_DISABLE, "") in ("", "0")
+
+
+# ---------------------------------------------------------------------
+# fingerprints
+# ---------------------------------------------------------------------
+
+_source_digest_memo: Optional[str] = None
+
+
+def _source_digest() -> str:
+    """Digest of every ``repro`` source file (memoized per process).
+
+    Folding the sources into the key makes the cache self-invalidating:
+    any change to the simulator produces fresh keys, so a stale result
+    can never satisfy a run of different code — even without a version
+    bump during development.
+    """
+    global _source_digest_memo
+    if _source_digest_memo is None:
+        import repro
+        pkg = Path(repro.__file__).parent
+        h = hashlib.sha256()
+        for path in sorted(pkg.rglob("*.py")):
+            h.update(str(path.relative_to(pkg)).encode())
+            h.update(path.read_bytes())
+        _source_digest_memo = h.hexdigest()
+    return _source_digest_memo
+
+
+def config_fingerprint(config: SystemConfig) -> str:
+    """Stable digest over every (nested) config dataclass field."""
+    fields = dataclasses.asdict(config)
+    canon = repr(sorted(fields.items()))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def workload_fingerprint(workload: Workload) -> str:
+    """Stable digest of a workload's full operational content.
+
+    Covers the name and every program item (ops with address / think /
+    pc), so generator ``scale`` and ``seed`` changes — which alter the
+    emitted programs — change the fingerprint, while two factories that
+    happen to emit identical traces share one.
+    """
+    h = hashlib.sha256()
+    h.update(f"{workload.name}|{workload.num_static_txs}".encode())
+    for prog in workload.programs:
+        h.update(b"|P")
+        for item in prog:
+            if isinstance(item, TxInstance):
+                h.update(f"T{item.static_id},{item.instance_id}".encode())
+                for op in item.ops:
+                    h.update(
+                        f"{int(op.is_write)},{op.addr},{op.think},{op.pc};"
+                        .encode())
+            elif isinstance(item, NonTxOp):
+                h.update(f"N{int(item.is_write)},{item.addr},"
+                         f"{item.think},{item.pc}".encode())
+            elif isinstance(item, Gap):
+                h.update(f"G{item.cycles}".encode())
+            else:  # pragma: no cover - validate_program rejects these
+                raise TypeError(f"unknown program item {item!r}")
+    return h.hexdigest()
+
+
+def cache_key(config: SystemConfig, workload: Workload, cm: str) -> str:
+    """The content address of one simulation cell."""
+    from repro import __version__
+    h = hashlib.sha256()
+    h.update(__version__.encode())
+    h.update(_source_digest().encode())
+    h.update(config_fingerprint(config).encode())
+    h.update(cm.encode())
+    h.update(workload_fingerprint(workload).encode())
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------
+# the cache proper
+# ---------------------------------------------------------------------
+
+class ResultCache:
+    """Filesystem-backed store of pickled :class:`Stats` by key."""
+
+    def __init__(self, root: Union[None, str, Path] = None):
+        if root is None:
+            root = os.environ.get(ENV_DIR) or DEFAULT_DIRNAME
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Stats]:
+        """The cached Stats for ``key``, or None (corrupt files are
+        treated as misses and removed)."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as f:
+                stats = pickle.load(f)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        if not isinstance(stats, Stats):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, key: str, stats: Stats) -> None:
+        """Atomically store ``stats`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tracer, stats.tracer = stats.tracer, None  # never pickle tracers
+        try:
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                                       suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    pickle.dump(stats, f, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        finally:
+            stats.tracer = tracer
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Remove every cached entry; returns the number removed."""
+        n = 0
+        if self.root.is_dir():
+            for p in self.root.rglob("*.pkl"):
+                try:
+                    p.unlink()
+                    n += 1
+                except OSError:
+                    pass
+        return n
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.pkl"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ResultCache({str(self.root)!r}, hits={self.hits}, "
+                f"misses={self.misses}, stores={self.stores})")
+
+
+def default_cache() -> Optional[ResultCache]:
+    """The process-default cache, or None when disabled by env."""
+    if not cache_enabled():
+        return None
+    return ResultCache()
+
+
+def resolve_cache(cache: CacheLike) -> Optional[ResultCache]:
+    """Normalize the ``cache=`` argument accepted across the stack.
+
+    ``True`` -> the process default (None when ``REPRO_NO_CACHE`` is
+    set); ``None``/``False`` -> no caching; a path -> a cache rooted
+    there (still subject to ``REPRO_NO_CACHE``); a :class:`ResultCache`
+    -> itself, unconditionally.
+    """
+    if isinstance(cache, ResultCache):
+        return cache
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return default_cache()
+    if not cache_enabled():
+        return None
+    return ResultCache(cache)
+
+
+# ---------------------------------------------------------------------
+# cached run harness
+# ---------------------------------------------------------------------
+
+def cached_run_workload(config: SystemConfig, workload: Workload,
+                        cm: str = "baseline",
+                        max_cycles: Optional[int] = None,
+                        audit: bool = True,
+                        cache: CacheLike = True):
+    """:func:`repro.system.run_workload` with result caching.
+
+    On a hit the returned :class:`~repro.system.RunResult` carries the
+    cached Stats, ``wall_seconds == 0`` and ``extras["cache_hit"] == 1``.
+    Only string ``cm`` names are cacheable (a live ContentionManager
+    instance has no stable identity); those fall through to a plain run.
+    """
+    from repro.system import RunResult, run_workload
+    resolved = resolve_cache(cache) if isinstance(cm, str) else None
+    if resolved is None:
+        return run_workload(config, workload, cm=cm,
+                            max_cycles=max_cycles, audit=audit)
+    key = cache_key(config, workload, cm)
+    stats = resolved.get(key)
+    if stats is not None:
+        return RunResult(stats, config, workload.name, cm,
+                         wall_seconds=0.0, extras={"cache_hit": 1.0})
+    result = run_workload(config, workload, cm=cm,
+                          max_cycles=max_cycles, audit=audit)
+    resolved.put(key, result.stats)
+    return result

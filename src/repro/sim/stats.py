@@ -197,6 +197,33 @@ class Stats:
         total = self.puno_correct_predictions + self.puno_mispredictions
         return self.puno_correct_predictions / total if total else 0.0
 
+    def snapshot(self) -> Dict[str, object]:
+        """Canonical, order-independent dump of *every* counter.
+
+        Unlike :meth:`summary` (headline metrics only) this covers all
+        scalar counters, per-type counters, histograms and per-node
+        stats — two runs are behaviourally identical iff their
+        snapshots compare equal, which is what the determinism and
+        parallel-equivalence tests assert on.
+        """
+        out: Dict[str, object] = {}
+        for name, value in vars(self).items():
+            if name == "tracer":
+                continue
+            if name == "nodes":
+                out[name] = [
+                    {k: (dict(v) if isinstance(v, Counter) else v)
+                     for k, v in vars(n).items()}
+                    for n in value
+                ]
+            elif isinstance(value, Counter):
+                out[name] = dict(value)
+            elif isinstance(value, Histogram):
+                out[name] = dict(value.counts)
+            else:
+                out[name] = value
+        return out
+
     def summary(self) -> Dict[str, float]:
         """Flat dict of headline metrics (used by reports and sweeps)."""
         return {

@@ -116,6 +116,98 @@ def test_idle_ignores_cancelled(sim):
     assert sim.idle()
 
 
+def test_live_event_count_tracks_schedule_cancel_run(sim):
+    evs = [sim.schedule(i + 1, lambda: None) for i in range(4)]
+    assert sim.live_events == 4
+    evs[0].cancel()
+    assert sim.live_events == 3
+    evs[0].cancel()  # idempotent: no double decrement
+    assert sim.live_events == 3
+    sim.run()
+    assert sim.live_events == 0 and sim.idle()
+    assert sim.events_processed == 3
+
+
+def test_cancel_after_execution_is_noop(sim):
+    ev = sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.live_events == 0
+    ev.cancel()  # already executed: must not corrupt the live count
+    assert sim.live_events == 0
+    sim.schedule(1, lambda: None)
+    assert sim.live_events == 1 and not sim.idle()
+
+
+def test_idle_is_constant_time(sim):
+    """idle() reads a counter — no heap scan, same answer as before."""
+    evs = [sim.schedule(5, lambda: None) for _ in range(10)]
+    assert not sim.idle()
+    for ev in evs:
+        ev.cancel()
+    assert sim.idle()
+
+
+def test_lazy_purge_compacts_heap(sim):
+    """Mass cancellation shrinks the heap without waiting for pops."""
+    evs = [sim.schedule(i + 1, lambda: None) for i in range(300)]
+    for ev in evs[:250]:
+        ev.cancel()
+    assert sim.live_events == 50
+    # cancelled entries exceeded half the heap -> compaction happened
+    assert sim.pending < 300
+    order = []
+    sim.schedule(1000, order.append, "last")
+    sim.run()
+    assert sim.events_processed == 51 and order == ["last"]
+
+
+def test_purge_during_run_keeps_determinism(sim):
+    """Cancelling en masse from inside a callback (which compacts the
+    heap mid-run) must not disturb execution order."""
+    hits = []
+    victims = [sim.schedule(50 + i, hits.append, f"dead{i}")
+               for i in range(200)]
+    sim.schedule(10, lambda: [ev.cancel() for ev in victims])
+    sim.schedule(20, hits.append, "a")
+    sim.schedule(300, hits.append, "b")
+    sim.run()
+    assert hits == ["a", "b"]
+    assert sim.now == 300
+
+
+def test_until_with_exhausted_budget_keeps_clock(sim):
+    """Budget expiring with live work pending must not advance to
+    ``until`` — the interval was not fully simulated."""
+    for t in (10, 20, 30):
+        sim.schedule(t, lambda: None)
+    sim.run(until=50, max_events=2)
+    assert sim.now == 20  # stopped at the last executed event
+    sim.run(until=50)
+    assert sim.now == 50
+
+
+def test_until_with_budget_and_only_cancelled_events(sim):
+    """Cancelled events never charge the budget nor hold the clock:
+    with nothing live before ``until``, the clock reaches it even at
+    max_events=0 (previously the budget break left now untouched)."""
+    for t in (5, 15):
+        sim.schedule(t, lambda: None).cancel()
+    sim.run(until=50, max_events=0)
+    assert sim.now == 50
+    assert sim.events_processed == 0
+
+
+def test_until_budget_live_event_blocks_clock(sim):
+    sim.schedule(5, lambda: None).cancel()
+    sim.schedule(20, lambda: None)
+    sim.run(until=50, max_events=0)
+    # a live event at t=20 is still pending: clock must not jump it
+    assert sim.now == 0
+    sim.run(until=50, max_events=1)
+    assert sim.now == 50  # event ran, rest of the interval is empty
+    assert sim.events_processed == 1
+
+
 def test_clock_monotonic_across_many_events(sim):
     times = []
     import random

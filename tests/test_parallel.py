@@ -1,0 +1,191 @@
+"""Parallel sweep execution: serial/parallel equivalence, determinism,
+task descriptors, and the strict (non-ragged) SweepResult grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.parallel import (
+    SweepTask,
+    WorkloadSpec,
+    grid_tasks,
+    resolve_jobs,
+    run_task,
+    run_tasks,
+)
+from repro.analysis.sweep import SchemeSweep, SweepResult, paper_schemes
+from repro.sim.config import small_config
+from repro.sim.stats import Stats
+
+
+def _schemes4():
+    base = small_config(4)
+    return {
+        "baseline": ("baseline", base),
+        "backoff": ("backoff", base),
+        "rmw": ("rmw", base),
+        "puno": ("puno", base.with_puno()),
+    }
+
+
+def _specs4(names=("intruder", "kmeans"), scale=0.1, seed=0):
+    return {n: WorkloadSpec(n, num_nodes=4, scale=scale, seed=seed)
+            for n in names}
+
+
+# ---------------------------------------------------------------------
+# equivalence and determinism
+# ---------------------------------------------------------------------
+
+def test_parallel_matches_serial_2x4():
+    """jobs=4 must produce bit-identical Stats to jobs=1 on every cell
+    of a 2-workload x 4-scheme grid."""
+    schemes, specs = _schemes4(), _specs4()
+    serial = SchemeSweep(schemes, max_cycles=20_000_000,
+                         jobs=1, cache=False).run(specs)
+    parallel = SchemeSweep(schemes, max_cycles=20_000_000,
+                           jobs=4, cache=False).run(specs)
+    assert set(serial.stats) == set(parallel.stats)
+    for wl in specs:
+        for scheme in schemes:
+            assert (serial.stats[wl][scheme].snapshot()
+                    == parallel.stats[wl][scheme].snapshot()), \
+                f"parallel run diverged on {wl}/{scheme}"
+
+
+@pytest.mark.slow
+def test_parallel_matches_serial_full_paper_grid():
+    """The full 8-workload x 4-scheme paper grid at reduced scale:
+    SchemeSweep(jobs=4) equals the serial run cell for cell."""
+    specs = {name: WorkloadSpec(name, scale=0.05, seed=0)
+             for name in ("bayes", "intruder", "labyrinth", "yada",
+                          "genome", "kmeans", "ssca2", "vacation")}
+    serial = SchemeSweep(paper_schemes(), jobs=1, cache=False).run(specs)
+    parallel = SchemeSweep(paper_schemes(), jobs=4, cache=False).run(specs)
+    for wl in specs:
+        for scheme in ("baseline", "backoff", "rmw", "puno"):
+            assert (serial.stats[wl][scheme].snapshot()
+                    == parallel.stats[wl][scheme].snapshot()), \
+                f"parallel run diverged on {wl}/{scheme}"
+
+
+def test_serial_reruns_are_deterministic():
+    """Two fresh serial runs of the same cell produce identical Stats —
+    the property the cache and the parallel layer both rely on."""
+    schemes = {"baseline": ("baseline", small_config(4))}
+    specs = _specs4(names=("intruder",))
+    a = SchemeSweep(schemes, jobs=1, cache=False).run(specs)
+    b = SchemeSweep(schemes, jobs=1, cache=False).run(specs)
+    assert (a.stats["intruder"]["baseline"].snapshot()
+            == b.stats["intruder"]["baseline"].snapshot())
+
+
+# ---------------------------------------------------------------------
+# sweep-level cache behaviour
+# ---------------------------------------------------------------------
+
+def test_warm_cache_replays_grid_without_simulating(tmp_path):
+    schemes, specs = _schemes4(), _specs4()
+    cold = SchemeSweep(schemes, max_cycles=20_000_000,
+                       jobs=1, cache=tmp_path).run(specs)
+    # run the same grid through the parallel path against the warm
+    # cache: every cell must be a hit and identical
+    tasks = grid_tasks(schemes, specs, max_cycles=20_000_000,
+                       cache_dir=str(tmp_path))
+    results = run_tasks(tasks, jobs=2)
+    assert all(tr.cache_hit for tr in results)
+    for tr in results:
+        assert (tr.stats.snapshot()
+                == cold.stats[tr.workload][tr.scheme].snapshot())
+
+
+def test_no_cache_env_defeats_task_cache(tmp_path, monkeypatch):
+    schemes, specs = _schemes4(), _specs4(names=("kmeans",))
+    SchemeSweep(schemes, max_cycles=20_000_000,
+                jobs=1, cache=tmp_path).run(specs)
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    task = grid_tasks(schemes, specs, max_cycles=20_000_000,
+                      cache_dir=str(tmp_path))[0]
+    assert not run_task(task).cache_hit
+
+
+# ---------------------------------------------------------------------
+# descriptors and plumbing
+# ---------------------------------------------------------------------
+
+def test_tasks_are_picklable():
+    import pickle
+    task = grid_tasks(_schemes4(), _specs4())[0]
+    clone = pickle.loads(pickle.dumps(task))
+    assert clone == task
+    assert clone.spec.build().name == task.workload
+
+
+def test_workload_spec_builds_synthetic():
+    spec = WorkloadSpec("micro", kind="synthetic", num_nodes=4, seed=5,
+                        params=(("instances", 3), ("shared_lines", 16),
+                                ("tx_reads", 4), ("tx_writes", 1)))
+    wl = spec.build()
+    assert wl.num_nodes == 4 and wl.total_instances() > 0
+
+
+def test_workload_spec_unknown_kind():
+    with pytest.raises(ValueError):
+        WorkloadSpec("x", kind="nope").build()
+
+
+def test_parallel_sweep_rejects_live_factories():
+    sweep = SchemeSweep(_schemes4(), jobs=4)
+    with pytest.raises(TypeError):
+        sweep.run({"intruder": lambda: None})
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(4) == 4
+    assert resolve_jobs(-3) == 1
+    assert resolve_jobs(None) >= 1
+    assert resolve_jobs(0) >= 1
+
+
+def test_grid_tasks_order_is_workload_major():
+    tasks = grid_tasks(_schemes4(), _specs4())
+    labels = [(t.workload, t.scheme) for t in tasks]
+    assert labels[:4] == [("intruder", "baseline"), ("intruder", "backoff"),
+                          ("intruder", "rmw"), ("intruder", "puno")]
+    assert labels[4][0] == "kmeans"
+
+
+# ---------------------------------------------------------------------
+# strict SweepResult grid
+# ---------------------------------------------------------------------
+
+def test_sweepresult_rejects_duplicate_cell():
+    r = SweepResult()
+    r.add("wl", "baseline", Stats(4))
+    with pytest.raises(ValueError, match="duplicate"):
+        r.add("wl", "baseline", Stats(4))
+
+
+def test_sweepresult_rejects_ragged_grid():
+    r = SweepResult()
+    a, b = Stats(4), Stats(4)
+    a.execution_cycles = b.execution_cycles = 100
+    r.add("wl1", "baseline", a)
+    r.add("wl1", "puno", b)
+    r.add("wl2", "baseline", a)  # wl2 is missing "puno"
+    with pytest.raises(ValueError, match="missing"):
+        r.table("exec")
+    with pytest.raises(ValueError, match="missing"):
+        r.normalized("exec")
+
+
+def test_sweepresult_complete_grid_builds_table():
+    r = SweepResult()
+    for wl in ("wl1", "wl2"):
+        for scheme in ("baseline", "puno"):
+            s = Stats(4)
+            s.execution_cycles = 100
+            r.add(wl, scheme, s)
+    t = r.table("exec")
+    assert t.get("wl2", "puno") == 100
