@@ -13,6 +13,8 @@ scale so the whole suite regenerates in minutes.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -285,8 +287,7 @@ def seed_averaged_evaluation(scale: float = 1.0, seeds: int = 3,
         for wl in tables[0].workloads:
             for scheme in tables[0].schemes():
                 vals = [t.get(wl, scheme) for t in tables]
-                finite = [v for v in vals
-                          if v == v and abs(v) != float("inf")]
+                finite = [v for v in vals if math.isfinite(v)]
                 avg.set(wl, scheme,
                         sum(finite) / len(finite) if finite else 0.0)
         key, title = titles[metric]

@@ -8,6 +8,10 @@ Commands:
 * ``experiment`` — regenerate one paper table/figure by name.
 * ``workloads`` — list the available workloads and their parameters.
 * ``area`` — print the PUNO area/power estimate (Table III).
+* ``lint`` — run the simulator-specific static analysis suite.
+
+``run``/``compare``/``experiment`` accept ``--sanitize`` to enable the
+dynamic protocol sanitizer (equivalent to ``REPRO_SANITIZE=1``).
 """
 
 from __future__ import annotations
@@ -80,6 +84,14 @@ def _apply_cache_flag(args) -> None:
         os.environ["REPRO_NO_CACHE"] = "1"
 
 
+def _apply_sanitize_flag(args) -> None:
+    """``--sanitize`` enables the dynamic protocol sanitizer for the
+    whole process, sweep workers included (same env-flag mechanism)."""
+    import os
+    if getattr(args, "sanitize", False):
+        os.environ["REPRO_SANITIZE"] = "1"
+
+
 def _make_config(args, scheme: str) -> SystemConfig:
     cfg = SystemConfig(seed=args.seed) if args.nodes == 16 else None
     if cfg is None:
@@ -127,6 +139,7 @@ def cmd_workloads(args) -> int:
 
 
 def cmd_run(args) -> int:
+    _apply_sanitize_flag(args)
     wl = _make_workload(args)
     cfg = _make_config(args, args.scheme)
     tracer = None
@@ -169,6 +182,7 @@ def cmd_compare(args) -> int:
         print(f"unknown scheme(s): {sorted(unknown)}", file=sys.stderr)
         return 2
     _apply_cache_flag(args)
+    _apply_sanitize_flag(args)
     from repro.analysis.sweep import SchemeSweep
     sweep = SchemeSweep(
         {s: (s, _make_config(args, s)) for s in schemes},
@@ -197,9 +211,27 @@ def cmd_experiment(args) -> int:
               f"{sorted(EXPERIMENTS)}", file=sys.stderr)
         return 2
     _apply_cache_flag(args)
+    _apply_sanitize_flag(args)
     result = fn(args)
     print(result.text)
     return 0
+
+
+def cmd_lint(args) -> int:
+    from repro.lint.runner import lint_paths, list_rules_text
+    if args.list_rules:
+        print(list_rules_text())
+        return 0
+    try:
+        report = lint_paths(args.paths or None)
+    except Exception as exc:
+        print(f"lint internal error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return report.exit_code
 
 
 def cmd_area(args) -> int:
@@ -242,8 +274,14 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--tx-writes", type=int, default=2,
                         help="synthetic only")
 
+    def sanitize_opt(sp):
+        sp.add_argument("--sanitize", action="store_true",
+                        help="enable the dynamic protocol sanitizer "
+                             "(same as REPRO_SANITIZE=1)")
+
     run_p = sub.add_parser("run", help="simulate one workload")
     common(run_p)
+    sanitize_opt(run_p)
     run_p.add_argument("--scheme", choices=SCHEMES, default="baseline")
     run_p.add_argument("--json", action="store_true",
                        help="print the summary as JSON")
@@ -267,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     cmp_p = sub.add_parser("compare", help="compare schemes")
     common(cmp_p)
+    sanitize_opt(cmp_p)
     cmp_p.add_argument("--schemes", default=None,
                        help="comma-separated subset of "
                             f"{','.join(SCHEMES)}")
@@ -277,7 +316,19 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
     exp_p.add_argument("--scale", type=float, default=0.4)
     exp_p.add_argument("--seed", type=int, default=0)
+    sanitize_opt(exp_p)
     parallel_opts(exp_p)
+
+    lint_p = sub.add_parser(
+        "lint", help="simulator-specific static analysis "
+                     "(exit 0 clean / 1 violations / 2 internal error)")
+    lint_p.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: the installed repro package)")
+    lint_p.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    lint_p.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
 
     area_p = sub.add_parser("area", help="Table III area/power model")
     area_p.add_argument("--pbuffer", type=int, default=16)
@@ -296,6 +347,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": cmd_compare,
         "experiment": cmd_experiment,
         "area": cmd_area,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args)
 

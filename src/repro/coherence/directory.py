@@ -80,6 +80,7 @@ class DirectoryController:
         self.network = network
         self.stats = stats
         self.puno = puno  # Optional[repro.core.puno.DirectoryPUNO]
+        self.san = None  # Optional[repro.sanitize.sanitizer.ProtocolSanitizer]
         self.entries: Dict[int, DirEntry] = {}
 
     # ------------------------------------------------------------------
@@ -121,6 +122,8 @@ class DirectoryController:
                 state=entry.state.value, sharers=len(entry.sharers))
         if self.puno is not None:
             self.puno.observe_request(msg)
+            if self.san is not None:
+                self.san.check_pbuffer(self.puno.pbuffer)
         if msg.mtype is MessageType.GETS:
             self._service_gets(msg, entry)
         elif msg.mtype is MessageType.GETX:
@@ -392,7 +395,14 @@ class DirectoryController:
         if self.puno is not None:
             if msg.mp_bit and msg.mp_node >= 0:
                 self.puno.feedback_mispredict(msg.mp_node)
+                if self.san is not None:
+                    self.san.check_mp_feedback(self.puno, msg.mp_node)
             self.puno.after_service(entry)
+        if self.san is not None:
+            # Line state is settled here (requester installed before
+            # sending UNBLOCK); the check itself runs at the event
+            # boundary after the wait queue drains.
+            self.san.queue_line_check(self, msg.addr)
         self._unblock(entry)
 
     def _handle_wb_data(self, msg: Message) -> None:

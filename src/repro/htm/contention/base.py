@@ -11,6 +11,7 @@ import random
 from typing import Optional
 
 from repro.sim.config import SystemConfig
+from repro.sim.rng import RngFactory
 from repro.sim.stats import Stats
 
 
@@ -23,7 +24,11 @@ class ContentionManager:
                  rng: Optional[random.Random] = None):
         self.config = config
         self.stats = stats
-        self.rng = rng or random.Random(0)
+        if rng is None:
+            # Derive a deterministic stream from the config seed rather
+            # than touching the random module directly (lint: sim-rng).
+            rng = RngFactory(config.seed).stream(f"cm:{self.name}")
+        self.rng = rng
         # Set by System after wiring; managers that need the clock
         # (e.g. the ATS ticket queue) read it from here.
         self.sim = None

@@ -82,6 +82,7 @@ class NodeController:
         self.program = program
         self.on_done = on_done
         self.txlb = txlb if txlb is not None else TxLB(config.puno.txlb_entries)
+        self.san = None  # Optional[repro.sanitize.sanitizer.ProtocolSanitizer]
 
         self.l1 = L1Cache(config.cache)
         self.mshr: Optional[Mshr] = None
@@ -199,11 +200,15 @@ class NodeController:
             self._handle_abort()
             return
         tx.status = TxStatus.COMMITTED
+        if self.san is not None:
+            self.san.check_undo_log(self, tx)
         dyn_len = self.sim.now - tx.attempt_start
         self.nstats.tx_committed += 1
         self.nstats.good_cycles += dyn_len
         # TxLB tracks the *running* length; stall time is not running.
         self.txlb.update(tx.static_id, max(1, dyn_len - tx.stall_cycles))
+        if self.san is not None:
+            self.san.check_txlb(self, self.txlb)
         self.committed_increments += self._attempt_increments
         self.l1.unpin_all(tx.read_set | tx.write_set)
         if self.stats.tracer is not None:
@@ -228,6 +233,8 @@ class NodeController:
         """
         tx = self.tx
         assert tx is not None and tx.active
+        if self.san is not None:
+            self.san.check_undo_log(self, tx)
         tx.doom(cause)
         self.nstats.discarded_cycles += self.sim.now - tx.attempt_start
         self.nstats.aborts_by_cause[cause] += 1
@@ -399,6 +406,8 @@ class NodeController:
         m = self.mshr
         assert m is not None and msg.req_id == m.req_id, (
             f"stale response {msg} at node {self.node}")
+        if self.san is not None:
+            self.san.check_ubit_response(self, msg)
         if msg.mtype in (MessageType.DATA, MessageType.DATA_EXCL,
                          MessageType.GRANT):
             m.grant = msg
@@ -578,6 +587,8 @@ class NodeController:
         t_est = self.txlb.estimate_remaining(tx.static_id, max(0, elapsed))
         if t_est >= 0:
             self.stats.puno_notifications += 1
+        if self.san is not None:
+            self.san.check_estimate(self, t_est)
         return t_est
 
     def _handle_fwd_getx(self, msg: Message) -> None:
@@ -600,6 +611,8 @@ class NodeController:
             if will_touch:
                 dec = Decision.NACK
             mp = dec is not Decision.NACK
+            if self.san is not None:
+                self.san.check_unicast_probe(self, msg, mp)
             if mp:
                 if tx is None or not tx.active:
                     self.stats.puno_mp_no_tx += 1
@@ -618,6 +631,8 @@ class NodeController:
             return
 
         dec = check_fwd_getx(tx, addr, msg.tx, committing=msg.committing)
+        if self.san is not None:
+            self.san.check_conflict_decision(self, msg, dec, "getx")
         if dec is Decision.NACK:
             notify = msg.terminal  # owner path is a natural unicast
             resp = Message(
@@ -665,6 +680,8 @@ class NodeController:
         addr = msg.addr
         tx = self.tx
         dec = check_fwd_gets(tx, addr, msg.tx)
+        if self.san is not None:
+            self.san.check_conflict_decision(self, msg, dec, "gets")
         if dec is Decision.NACK:
             resp = Message(
                 MessageType.NACK, addr, self.node, msg.requester,

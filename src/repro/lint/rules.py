@@ -1,0 +1,414 @@
+"""The lint rule catalogue and the single-pass AST checker.
+
+Each rule has a kebab-case id (the token used by ``# lint:
+disable=<id>``), a scope (which files it applies to) and a one-line
+summary.  The checker walks one module's AST once and dispatches to
+every in-scope rule, emitting :class:`Violation` records.
+
+Scopes
+------
+
+* ``all`` — every linted file;
+* ``sim-path`` — code that executes *inside* a simulation (the
+  coherence protocol, the HTM machinery, the network and the event
+  engine): everything under ``coherence/``, ``core/``, ``htm/``,
+  ``network/`` plus ``sim/engine.py``;
+* ``pickle-boundary`` — modules whose objects cross process
+  boundaries (``analysis/parallel.py``, ``sim/resultcache.py``).
+
+Files that are *not* part of the ``repro`` package (e.g. test
+fixtures) are linted under the strictest scope: every rule applies.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+# ---------------------------------------------------------------------
+# rule catalogue
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: id, applicability scope and summary."""
+
+    id: str
+    scope: str  # 'all' | 'sim-path' | 'pickle-boundary'
+    summary: str
+
+
+RULES: Tuple[Rule, ...] = (
+    Rule("sim-rng", "all",
+         "use repro.sim.rng streams, never the random module directly"),
+    Rule("wall-clock", "all",
+         "simulated time is Simulator.now; no time.time()/datetime.now()"),
+    Rule("set-iteration", "all",
+         "iteration order over sets is unordered; sort before iterating"),
+    Rule("pickle-safe", "pickle-boundary",
+         "no lambdas or nested defs in process-boundary modules"),
+    Rule("float-eq", "all",
+         "no float == / != on latency or cycle math"),
+    Rule("mutable-default", "all",
+         "no mutable default argument values"),
+    Rule("int-cycles", "all",
+         "event delays must be integer expressions (no / or float literals)"),
+    Rule("sim-print", "sim-path",
+         "sim-path code reports through Stats/Tracer, never print()"),
+    Rule("sim-env", "sim-path",
+         "no os.environ reads inside sim-path functions (read at import "
+         "or pass through config)"),
+    Rule("bare-except", "all",
+         "no bare except: clauses (name the exception type)"),
+)
+
+RULES_BY_ID: Dict[str, Rule] = {r.id: r for r in RULES}
+
+# Files (package-relative, posix) exempt from sim-rng: the stream
+# factory itself is the one legitimate `random` consumer.
+RNG_EXEMPT = ("sim/rng.py",)
+
+SIM_PATH_PREFIXES = ("coherence/", "core/", "htm/", "network/")
+SIM_PATH_FILES = ("sim/engine.py",)
+
+PICKLE_BOUNDARY_FILES = ("analysis/parallel.py", "sim/resultcache.py")
+
+# Attributes that are known to be set-typed in this codebase; iterating
+# them directly is flagged by set-iteration.
+KNOWN_SET_ATTRS = frozenset({"sharers", "read_set", "write_set"})
+
+# Calls through which consuming a set is order-safe.
+ORDER_SAFE_CONSUMERS = frozenset({
+    "sorted", "frozenset", "set", "len", "min", "max", "any", "all",
+})
+
+_WALLCLOCK_TIME_FNS = frozenset({"time", "monotonic", "monotonic_ns",
+                                 "time_ns"})
+_WALLCLOCK_DT_FNS = frozenset({"now", "utcnow", "today"})
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: ``path:line rule message``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line} {self.rule} {self.message}"
+
+
+# ---------------------------------------------------------------------
+# scope resolution
+# ---------------------------------------------------------------------
+
+def active_rules(relpath: Optional[str]) -> Set[str]:
+    """Rule ids that apply to a file.
+
+    ``relpath`` is the package-relative posix path (``htm/node.py``) or
+    None for files outside the package — those get every rule.
+    """
+    if relpath is None:
+        return {r.id for r in RULES}
+    sim_path = (relpath.startswith(SIM_PATH_PREFIXES)
+                or relpath in SIM_PATH_FILES)
+    pickle_boundary = relpath in PICKLE_BOUNDARY_FILES
+    out: Set[str] = set()
+    for r in RULES:
+        if r.scope == "all":
+            out.add(r.id)
+        elif r.scope == "sim-path" and sim_path:
+            out.add(r.id)
+        elif r.scope == "pickle-boundary" and pickle_boundary:
+            out.add(r.id)
+    if relpath in RNG_EXEMPT:
+        out.discard("sim-rng")
+    return out
+
+
+# ---------------------------------------------------------------------
+# AST helpers
+# ---------------------------------------------------------------------
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    """Heuristic: does ``node`` evaluate to a set/frozenset?
+
+    ``set_names`` holds local names known (by linear assignment
+    tracking) to be set-typed in the enclosing scope.
+    """
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.Attribute) and node.attr in KNOWN_SET_ATTRS:
+        return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+        return (_is_set_expr(node.left, set_names)
+                or _is_set_expr(node.right, set_names))
+    return False
+
+
+def _has_float_ingredient(node: ast.AST) -> bool:
+    """True when the expression visibly produces a float: a float
+    literal, a true division, or a float()/round-free conversion."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+            return True
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+            return True
+        if (isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name)
+                and sub.func.id == "float"):
+            return True
+    return False
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted name of an attribute/name chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+# ---------------------------------------------------------------------
+# the single-pass checker
+# ---------------------------------------------------------------------
+
+class FileChecker(ast.NodeVisitor):
+    """Runs every in-scope rule over one module's AST."""
+
+    def __init__(self, path: str, tree: ast.Module, rules: Set[str]):
+        self.path = path
+        self.rules = rules
+        self.tree = tree
+        self.violations: List[Violation] = []
+        # linear tracking of names assigned set-typed expressions, one
+        # namespace per (nested) function scope, module scope at [0]
+        self._set_names: List[Set[str]] = [set()]
+        self._func_depth = 0
+
+    def run(self) -> List[Violation]:
+        self.visit(self.tree)
+        return self.violations
+
+    # ------------------------------------------------------------------
+    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
+        if rule in self.rules:
+            self.violations.append(Violation(
+                self.path, getattr(node, "lineno", 0),
+                getattr(node, "col_offset", 0), rule, message))
+
+    @property
+    def _scope_sets(self) -> Set[str]:
+        return self._set_names[-1]
+
+    # ------------------------------------------------------------------
+    # scope management + mutable defaults
+    # ------------------------------------------------------------------
+    def _check_defaults(self, node) -> None:
+        for default in list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]:
+            bad = None
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                bad = type(default).__name__.lower()
+            elif (isinstance(default, ast.Call)
+                  and isinstance(default.func, ast.Name)
+                  and default.func.id in ("list", "dict", "set",
+                                          "bytearray")):
+                bad = default.func.id + "()"
+            if bad is not None:
+                self._emit(default, "mutable-default",
+                           f"mutable default argument ({bad}); default to "
+                           f"None and construct inside the function")
+
+    def _visit_func(self, node) -> None:
+        self._check_defaults(node)
+        if self._func_depth > 0:
+            self._emit(node, "pickle-safe",
+                       f"nested function {node.name!r} in a "
+                       f"process-boundary module cannot be pickled; "
+                       f"hoist it to module level")
+        self._func_depth += 1
+        self._set_names.append(set())
+        self.generic_visit(node)
+        self._set_names.pop()
+        self._func_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_func(node)
+
+    def visit_AsyncFunctionDef(self, node) -> None:
+        self._visit_func(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self._emit(node, "pickle-safe",
+                   "lambda in a process-boundary module cannot be "
+                   "pickled; use a module-level function")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # assignments: track set-typed names
+    # ------------------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if _is_set_expr(node.value, self._scope_sets):
+                    self._scope_sets.add(target.id)
+                else:
+                    self._scope_sets.discard(target.id)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            if _is_set_expr(node.value, self._scope_sets):
+                self._scope_sets.add(node.target.id)
+            else:
+                self._scope_sets.discard(node.target.id)
+
+    # ------------------------------------------------------------------
+    # iteration order
+    # ------------------------------------------------------------------
+    def _check_iteration(self, node: ast.AST, iter_node: ast.AST) -> None:
+        if _is_set_expr(iter_node, self._scope_sets):
+            self._emit(node, "set-iteration",
+                       "iterating an unordered set; wrap in sorted() so "
+                       "downstream order (events, output) is deterministic")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node, node.iter)
+        self.generic_visit(node)
+
+    def _check_comp(self, node) -> None:
+        for gen in node.generators:
+            self._check_iteration(gen.iter, gen.iter)
+
+    def visit_ListComp(self, node) -> None:
+        self._check_comp(node)
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node) -> None:
+        self._check_comp(node)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node) -> None:
+        self._check_comp(node)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node) -> None:
+        self._check_comp(node)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # calls: rng, wall clock, delays, print, env, tuple/list-of-set
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # sim-rng: any call through the random module
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id == "random":
+                self._emit(node, "sim-rng",
+                           f"random.{func.attr}() bypasses the seeded "
+                           f"stream factory; draw from repro.sim.rng "
+                           f"(RngFactory.stream)")
+            self._check_wallclock(node, func)
+            # int-cycles: Simulator.schedule delay argument
+            if func.attr in ("schedule", "schedule_at") and node.args:
+                if _has_float_ingredient(node.args[0]):
+                    self._emit(node, "int-cycles",
+                               f"{func.attr}() delay uses float math; "
+                               f"cycle delays must be integers (use // "
+                               f"or int())")
+            # sim-env: os.environ.get / os.getenv inside functions
+            if self._func_depth > 0:
+                dotted = _dotted(func)
+                if dotted in ("os.environ.get", "os.getenv"):
+                    self._emit(node, "sim-env",
+                               "environment read inside a sim-path "
+                               "function; read once at import time or "
+                               "route through SystemConfig")
+        elif isinstance(func, ast.Name):
+            if func.id == "print":
+                self._emit(node, "sim-print",
+                           "print() in sim-path code; report through "
+                           "Stats counters or the Tracer")
+            if func.id in ("tuple", "list") and len(node.args) == 1:
+                if _is_set_expr(node.args[0], self._scope_sets):
+                    self._emit(node, "set-iteration",
+                               f"{func.id}() over an unordered set "
+                               f"freezes nondeterministic order; use "
+                               f"sorted()")
+        self.generic_visit(node)
+
+    def _check_wallclock(self, node: ast.Call, func: ast.Attribute) -> None:
+        base = func.value
+        if (isinstance(base, ast.Name) and base.id == "time"
+                and func.attr in _WALLCLOCK_TIME_FNS):
+            self._emit(node, "wall-clock",
+                       f"time.{func.attr}() is wall-clock; simulated "
+                       f"time is Simulator.now (use time.perf_counter "
+                       f"only for wall-second reporting)")
+            return
+        if func.attr in _WALLCLOCK_DT_FNS:
+            dotted = _dotted(func)
+            head = dotted.split(".", 1)[0]
+            if head in ("datetime", "date"):
+                self._emit(node, "wall-clock",
+                           f"{dotted}() is wall-clock; simulated time "
+                           f"is Simulator.now")
+
+    # ------------------------------------------------------------------
+    # subscripts: os.environ[...] reads
+    # ------------------------------------------------------------------
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if self._func_depth > 0 and _dotted(node.value) == "os.environ":
+            self._emit(node, "sim-env",
+                       "environment read inside a sim-path function; "
+                       "read once at import time or route through "
+                       "SystemConfig")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # imports: from random import ...
+    # ------------------------------------------------------------------
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self._emit(node, "sim-rng",
+                       "importing names from the random module; draw "
+                       "from repro.sim.rng (RngFactory.stream)")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # comparisons: float ==
+    # ------------------------------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            operands = [node.left] + list(node.comparators)
+            if any(_has_float_ingredient(o) for o in operands):
+                self._emit(node, "float-eq",
+                           "float == / != on cycle or latency math is "
+                           "unreliable; compare ints or use a tolerance")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # bare except
+    # ------------------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._emit(node, "bare-except",
+                       "bare except: swallows SystemExit/KeyboardInterrupt; "
+                       "name the exception type")
+        self.generic_visit(node)

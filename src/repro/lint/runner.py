@@ -1,0 +1,193 @@
+"""Lint driver: file discovery, disable comments, reports, exit codes.
+
+Exit-code contract (consumed by CI and future tooling):
+
+* **0** — every scanned file is clean;
+* **1** — at least one violation (after disable-comment filtering);
+* **2** — internal error: a target could not be read or parsed, or a
+  rule crashed.  Errors are reported alongside any violations found in
+  the files that *did* scan.
+
+JSON report schema (``repro lint --format json``), version 1::
+
+    {
+      "version": 1,
+      "tool": "repro-lint",
+      "files_scanned": 42,
+      "violation_count": 2,
+      "violations": [
+        {"path": "...", "line": 10, "col": 4,
+         "rule": "sim-rng", "message": "..."}
+      ],
+      "errors": [],
+      "rules": {"sim-rng": "use repro.sim.rng ...", ...}
+    }
+
+Inline escape hatch — on the offending line::
+
+    x = random.random()  # lint: disable=sim-rng
+    y = whatever()       # lint: disable        (all rules, this line)
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Union
+
+from repro.lint.rules import (
+    RULES,
+    RULES_BY_ID,
+    FileChecker,
+    Violation,
+    active_rules,
+)
+
+_DISABLE_RE = re.compile(r"#\s*lint:\s*disable(?:=([\w,-]+))?")
+
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean / 1 violations / 2 internal error."""
+        if self.errors:
+            return 2
+        return 1 if self.violations else 0
+
+    def render_text(self) -> str:
+        lines = [v.render() for v in self.violations]
+        lines += [f"error: {e}" for e in self.errors]
+        tail = (f"{len(self.violations)} violation(s) in "
+                f"{self.files_scanned} file(s)")
+        if not self.violations and not self.errors:
+            tail = f"clean: {self.files_scanned} file(s), no violations"
+        lines.append(tail)
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "version": JSON_SCHEMA_VERSION,
+            "tool": "repro-lint",
+            "files_scanned": self.files_scanned,
+            "violation_count": len(self.violations),
+            "violations": [vars(v) for v in self.violations],
+            "errors": list(self.errors),
+            "rules": {r.id: r.summary for r in RULES},
+        }, indent=1)
+
+
+# ---------------------------------------------------------------------
+# discovery
+# ---------------------------------------------------------------------
+
+def package_root() -> Path:
+    """The installed ``repro`` package directory (the default target)."""
+    import repro
+    return Path(repro.__file__).parent
+
+
+def _iter_py_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    out: List[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.py")))
+        else:
+            out.append(p)
+    return out
+
+
+def _relpath_in_package(path: Path) -> Optional[str]:
+    """Posix path of ``path`` relative to the repro package, or None
+    when the file lives outside it (fixtures get every rule)."""
+    try:
+        resolved = path.resolve()
+        root = package_root().resolve()
+        return resolved.relative_to(root).as_posix()
+    except ValueError:
+        return None
+
+
+# ---------------------------------------------------------------------
+# per-file scan
+# ---------------------------------------------------------------------
+
+def _disabled_rules_by_line(source: str) -> Dict[int, Optional[Set[str]]]:
+    """line -> set of disabled rule ids (None = all rules)."""
+    out: Dict[int, Optional[Set[str]]] = {}
+    for i, line in enumerate(source.splitlines(), start=1):
+        m = _DISABLE_RE.search(line)
+        if not m:
+            continue
+        if m.group(1) is None:
+            out[i] = None
+        else:
+            out[i] = {tok.strip() for tok in m.group(1).split(",")
+                      if tok.strip()}
+    return out
+
+
+def lint_source(source: str, path: str,
+                relpath: Optional[str]) -> List[Violation]:
+    """Lint one module's source text (parsed fresh).  Raises
+    SyntaxError for unparseable input."""
+    tree = ast.parse(source, filename=path)
+    rules = active_rules(relpath)
+    violations = FileChecker(path, tree, rules).run()
+    disabled = _disabled_rules_by_line(source)
+    kept: List[Violation] = []
+    for v in violations:
+        rules_off = disabled.get(v.line, ...)
+        if rules_off is ...:
+            kept.append(v)
+        elif rules_off is not None and v.rule not in rules_off:
+            kept.append(v)
+    return kept
+
+
+def lint_paths(paths: Optional[Iterable[Union[str, Path]]] = None
+               ) -> LintReport:
+    """Lint files/directories (default: the whole repro package)."""
+    if paths is None:
+        paths = [package_root()]
+    report = LintReport()
+    for path in _iter_py_files(paths):
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            report.errors.append(f"{path}: unreadable ({exc})")
+            continue
+        try:
+            found = lint_source(source, str(path),
+                                _relpath_in_package(path))
+        except SyntaxError as exc:
+            report.errors.append(
+                f"{path}: parse failure (line {exc.lineno}: {exc.msg})")
+            continue
+        report.files_scanned += 1
+        report.violations.extend(found)
+    report.violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return report
+
+
+def list_rules_text() -> str:
+    """Human-readable rule catalogue (``repro lint --list-rules``)."""
+    width = max(len(r.id) for r in RULES)
+    lines = [f"{r.id:<{width}}  [{r.scope}]  {r.summary}" for r in RULES]
+    return "\n".join(lines)
+
+
+__all__ = ["LintReport", "lint_paths", "lint_source", "list_rules_text",
+           "package_root", "RULES_BY_ID"]

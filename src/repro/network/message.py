@@ -140,3 +140,48 @@ class Message:
             f"<{self.mtype.value} addr={self.addr} {self.src}->{self.dst}"
             f" req={self.requester}#{self.req_id}{extra}>"
         )
+
+
+# Which message types may legally carry each protocol-extension field
+# (Fig. 7: the extensions ride on existing messages, nothing else).
+_FIELD_CARRIERS = {
+    "u_bit": frozenset({MessageType.FWD_GETX, MessageType.NACK}),
+    "t_est": frozenset({MessageType.NACK}),
+    "mp_bit": frozenset({MessageType.NACK, MessageType.UNBLOCK}),
+    "mp_node": frozenset({MessageType.UNBLOCK}),
+    "sticky": frozenset({MessageType.PUT}),
+    "committing": frozenset({MessageType.GETX, MessageType.FWD_GETX}),
+    "survivors": frozenset({MessageType.UNBLOCK}),
+    "aborted": frozenset({MessageType.ACK, MessageType.DATA,
+                          MessageType.DATA_EXCL}),
+}
+
+
+def field_violations(msg: Message) -> list:
+    """Field/type mismatches in ``msg`` (empty when well-formed).
+
+    Used by the runtime sanitizer; kept here so the legal-carrier
+    table lives next to the message definition it constrains.
+    """
+    problems = []
+    t = msg.mtype
+    set_fields = (
+        ("u_bit", msg.u_bit),
+        ("t_est", msg.t_est >= 0),
+        ("mp_bit", msg.mp_bit),
+        ("mp_node", msg.mp_node >= 0),
+        ("sticky", msg.sticky),
+        ("committing", msg.committing),
+        ("survivors", bool(msg.survivors)),
+        ("aborted", msg.aborted),
+    )
+    for name, present in set_fields:
+        if present and t not in _FIELD_CARRIERS[name]:
+            problems.append(f"{name} set on {t.value}")
+    if msg.mp_node >= 0 and not msg.mp_bit:
+        problems.append("mp_node named without the MP-bit")
+    if msg.mp_bit and t is MessageType.UNBLOCK and msg.mp_node < 0:
+        problems.append("UNBLOCK MP-bit without an mp_node")
+    if msg.acks_expected < 0:
+        problems.append(f"negative acks_expected {msg.acks_expected}")
+    return problems

@@ -28,6 +28,7 @@ class Network:
         self._control_flits = mesh.config.control_flits
         self._data_flits = mesh.config.data_flits
         self._endpoints: Dict[int, Callable[[Message], None]] = {}
+        self.san = None  # Optional[repro.sanitize.sanitizer.ProtocolSanitizer]
         self.messages_sent = 0
         # per-router flit traversals (hotspot analysis)
         self.router_flits = [0] * mesh.num_nodes
@@ -45,6 +46,8 @@ class Network:
         """
         if msg.dst not in self._endpoints:
             raise KeyError(f"no endpoint registered for node {msg.dst}")
+        if self.san is not None:
+            self.san.check_message(msg)
         flits = msg.flits(self._control_flits, self._data_flits)
         self.stats.flits_injected += flits
         self.stats.flit_router_traversals += self.mesh.router_traversals(

@@ -1,0 +1,40 @@
+"""Dynamic protocol sanitizer (``--sanitize`` / ``REPRO_SANITIZE=1``).
+
+The static lint suite (:mod:`repro.lint`) catches determinism hazards
+in the *source*; this package validates protocol invariants in the
+*running* simulation — the coherence/conflict-detection properties the
+paper's mismatch study depends on.  When enabled, a
+:class:`~repro.sanitize.sanitizer.ProtocolSanitizer` is wired into the
+system at build time and checks invariants at event boundaries:
+
+* MESI single-owner and directory sharer-list consistency,
+* aborts/NACKs correspond to a *real* read/write-set overlap under the
+  time-based priority order (the paper's mismatch, Section II),
+* U-bit unicast probes are never answered with a grant,
+* MP feedback on UNBLOCK really invalidates the stale P-Buffer entry,
+* P-Buffer validity counters stay in ``[0, validity_max]``,
+* TxLB length estimates are positive; notifications are >= 0 or -1,
+* PUNO message-field extensions appear only on legal message types,
+* the undo log covers exactly the write set.
+
+A violation raises a structured
+:class:`~repro.sanitize.violations.SanitizerViolation` naming the rule,
+the cycle and the address involved.  When disabled (the default) no
+sanitizer object exists and the hot path pays nothing beyond a handful
+of ``is not None`` attribute checks.
+"""
+
+import os
+
+ENV_FLAG = "REPRO_SANITIZE"
+
+
+def sanitize_enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` is set (to anything but 0/empty)."""
+    return os.environ.get(ENV_FLAG, "") not in ("", "0")
+
+
+from repro.sanitize.violations import INVARIANTS, SanitizerViolation  # noqa: E402
+
+__all__ = ["ENV_FLAG", "sanitize_enabled", "SanitizerViolation",
+           "INVARIANTS"]

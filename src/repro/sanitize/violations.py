@@ -1,0 +1,65 @@
+"""Structured sanitizer violations and the invariant catalogue.
+
+Each dynamic invariant has a stable id (used by tests and reports, like
+the static lint rule ids) and a one-line statement.  DESIGN.md carries
+the full rationale with paper citations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: id -> one-line statement of the runtime invariant.
+INVARIANTS = {
+    "mesi-single-owner":
+        "at most one E/M copy per line, matching the directory owner",
+    "dir-sharers":
+        "every node actually holding S appears on the sharer list",
+    "abort-overlap":
+        "aborts and NACKs correspond to a real read/write-set overlap "
+        "under the time-based priority order",
+    "ubit-ack":
+        "a U-bit unicast probe is never answered with a grant or ACK",
+    "mp-feedback":
+        "MP feedback on UNBLOCK invalidates the stale P-Buffer entry",
+    "pbuffer-validity":
+        "P-Buffer validity counters stay within [0, validity_max]",
+    "txlb-estimate":
+        "TxLB lengths are positive; T_est estimates are >= 0 or -1",
+    "message-fields":
+        "protocol-extension message fields only on legal message types",
+    "undo-log":
+        "undo-log addresses equal the write set (eager versioning)",
+}
+
+
+class SanitizerViolation(AssertionError):
+    """A runtime protocol invariant was broken.
+
+    Subclasses AssertionError so existing "the run must be sound"
+    test harnesses (which catch CoherenceViolation, also an
+    AssertionError) treat it as a hard failure, not an expected
+    simulation outcome.
+    """
+
+    def __init__(self, rule: str, message: str,
+                 cycle: Optional[int] = None,
+                 node: Optional[int] = None,
+                 addr: Optional[int] = None):
+        self.rule = rule
+        self.message = message
+        self.cycle = cycle
+        self.node = node
+        self.addr = addr
+        where = []
+        if cycle is not None:
+            where.append(f"cycle {cycle}")
+        if node is not None:
+            where.append(f"node {node}")
+        if addr is not None:
+            where.append(f"addr {addr}")
+        suffix = f" [{', '.join(where)}]" if where else ""
+        super().__init__(f"{rule}: {message}{suffix}")
+
+
+__all__ = ["INVARIANTS", "SanitizerViolation"]

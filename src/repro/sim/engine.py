@@ -91,6 +91,10 @@ class Simulator:
         # the heap are tracked separately to drive lazy compaction.
         self._live: int = 0
         self._cancelled_in_heap: int = 0
+        # Optional hook invoked after every executed event (the event
+        # boundary).  Installed by the protocol sanitizer; None (the
+        # default) costs one local None-check per event in the hot loop.
+        self.post_event: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -159,6 +163,7 @@ class Simulator:
             heap = self._heap  # identity-stable: _purge compacts in place
             pop = heapq.heappop
             budget = max_events
+            post = self.post_event
             while heap:
                 ev = heap[0]
                 if ev.cancelled:
@@ -178,6 +183,8 @@ class Simulator:
                 self.now = ev.time
                 self.events_processed += 1
                 ev.fn(*ev.args)
+                if post is not None:
+                    post()
             else:
                 if until is not None and until > self.now:
                     self.now = until
@@ -198,6 +205,8 @@ class Simulator:
             self.now = ev.time
             self.events_processed += 1
             ev.fn(*ev.args)
+            if self.post_event is not None:
+                self.post_event()
             return True
         return False
 

@@ -252,8 +252,14 @@ def cached_run_workload(config: SystemConfig, workload: Workload,
     Only string ``cm`` names are cacheable (a live ContentionManager
     instance has no stable identity); those fall through to a plain run.
     """
+    from repro.sanitize import sanitize_enabled
     from repro.system import RunResult, run_workload
     resolved = resolve_cache(cache) if isinstance(cm, str) else None
+    if resolved is not None and sanitize_enabled():
+        # A sanitized run must actually simulate (a cache hit would
+        # check nothing), and its Stats must not poison the cache for
+        # later unsanitized sweeps.
+        resolved = None
     if resolved is None:
         return run_workload(config, workload, cm=cm,
                             max_cycles=max_cycles, audit=audit)

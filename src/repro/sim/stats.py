@@ -145,6 +145,10 @@ class Stats:
         # --- run-level ------------------------------------------------
         self.execution_cycles: int = 0
         self.capacity_aborts: int = 0
+        # Invariant checks executed by the protocol sanitizer (0 when
+        # it is disabled).  Lives on Stats so it survives the pickle
+        # trip back from parallel sweep workers.
+        self.sanitizer_checks: int = 0
 
     # ------------------------------------------------------------------
     # aggregate helpers

@@ -29,6 +29,7 @@ from repro.htm.node import NodeController
 from repro.network.message import Message, MessageType
 from repro.network.network import Network
 from repro.network.topology import Mesh
+from repro.sanitize import sanitize_enabled
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngFactory
@@ -68,7 +69,8 @@ class System:
 
     def __init__(self, config: SystemConfig, workload: Workload,
                  cm: Union[str, ContentionManager] = "baseline",
-                 trace=None, sampler=None, node_cls=None):
+                 trace=None, sampler=None, node_cls=None,
+                 sanitize: Optional[bool] = None):
         if workload.num_nodes != config.num_nodes:
             raise ValueError(
                 f"workload has {workload.num_nodes} programs for "
@@ -116,6 +118,15 @@ class System:
             )
             self.nodes.append(node)
             self.network.register(n, self._make_endpoint(directory, node))
+
+        # Dynamic protocol sanitizer: explicit argument wins, otherwise
+        # the REPRO_SANITIZE environment flag (which parallel sweep
+        # workers inherit) decides.
+        self.sanitizer = None
+        if sanitize if sanitize is not None else sanitize_enabled():
+            from repro.sanitize.sanitizer import ProtocolSanitizer
+            self.sanitizer = ProtocolSanitizer(self)
+            self.sanitizer.attach()
 
     # ------------------------------------------------------------------
     def _make_cm(self, cm: Union[str, ContentionManager]) -> ContentionManager:
@@ -189,8 +200,11 @@ class System:
         if audit:
             self.audit_coherence()
             self.audit_values()
+        extras: Dict[str, float] = {}
+        if self.sanitizer is not None:
+            extras["sanitizer_checks"] = float(self.stats.sanitizer_checks)
         return RunResult(self.stats, self.config, self.workload.name,
-                         self.cm.name, wall)
+                         self.cm.name, wall, extras=extras)
 
     # ==================================================================
     # audits
@@ -258,7 +272,7 @@ class System:
         addrs = set()
         for directory in self.directories:
             addrs.update(directory.entries.keys())
-        total = sum(self.global_value(a) for a in addrs)
+        total = sum(self.global_value(a) for a in sorted(addrs))
         committed = sum(n.committed_increments for n in self.nodes)
         if total != committed:
             raise CoherenceViolation(

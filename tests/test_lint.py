@@ -1,0 +1,232 @@
+"""Static lint suite: one seeded fixture per rule, report contract,
+disable comments, and the package-is-clean gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint.rules import RULES, RULES_BY_ID, active_rules
+from repro.lint.runner import (
+    JSON_SCHEMA_VERSION,
+    lint_paths,
+    lint_source,
+    list_rules_text,
+)
+
+
+def _violations(source):
+    """Lint a fixture snippet under the strictest scope (all rules)."""
+    return lint_source(source, "<fixture>", relpath=None)
+
+
+def _rules_hit(source):
+    return {v.rule for v in _violations(source)}
+
+
+# ---------------------------------------------------------------------
+# one fixture per rule
+# ---------------------------------------------------------------------
+
+FIXTURES = {
+    "sim-rng": "import random\nx = random.random()\n",
+    "wall-clock": "import time\nt = time.time()\n",
+    "set-iteration": "s = {1, 2, 3}\nfor x in s:\n    pass\n",
+    "pickle-safe": "def outer():\n    def inner():\n        pass\n",
+    "float-eq": "ok = (x / y) == 1.5\n",
+    "mutable-default": "def f(items=[]):\n    return items\n",
+    "int-cycles": "sim.schedule(delay * 1.5, fn)\n",
+    "sim-print": "print('debug')\n",
+    "sim-env": "import os\ndef f():\n    return os.environ.get('X')\n",
+    "bare-except": "try:\n    f()\nexcept:\n    pass\n",
+}
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_each_rule_fires_on_its_fixture(rule):
+    assert rule in _rules_hit(FIXTURES[rule])
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_each_fixture_exits_nonzero(rule, tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(FIXTURES[rule])
+    report = lint_paths([bad])
+    assert report.exit_code == 1
+    assert any(v.rule == rule for v in report.violations)
+
+
+def test_clean_file_exits_zero(tmp_path):
+    ok = tmp_path / "ok.py"
+    ok.write_text("import math\n\n\ndef f(x):\n    return math.sqrt(x)\n")
+    report = lint_paths([ok])
+    assert report.exit_code == 0
+    assert report.violations == []
+    assert report.files_scanned == 1
+
+
+def test_unparseable_file_is_internal_error(tmp_path):
+    bad = tmp_path / "syntax.py"
+    bad.write_text("def broken(:\n")
+    report = lint_paths([bad])
+    assert report.exit_code == 2
+    assert report.errors
+
+
+# ---------------------------------------------------------------------
+# rule details beyond the smoke fixtures
+# ---------------------------------------------------------------------
+
+def test_sim_rng_catches_from_import():
+    assert "sim-rng" in _rules_hit("from random import choice\n")
+
+
+def test_wall_clock_catches_datetime_now():
+    src = "import datetime\nt = datetime.datetime.now()\n"
+    assert "wall-clock" in _rules_hit(src)
+
+
+def test_perf_counter_allowed():
+    src = "import time\nt0 = time.perf_counter()\n"
+    assert _violations(src) == []
+
+
+def test_set_iteration_tracks_assigned_names():
+    src = "s = set(items)\nout = [f(x) for x in s]\n"
+    assert "set-iteration" in _rules_hit(src)
+
+
+def test_set_iteration_known_attrs():
+    src = "for n in entry.sharers:\n    pass\n"
+    assert "set-iteration" in _rules_hit(src)
+
+
+def test_sorted_set_is_clean():
+    src = "s = {1, 2}\nfor x in sorted(s):\n    pass\n"
+    assert _violations(src) == []
+
+
+def test_tuple_of_set_flagged():
+    src = "s = {1, 2}\nt = tuple(s)\n"
+    assert "set-iteration" in _rules_hit(src)
+
+
+def test_float_eq_requires_float_ingredient():
+    assert _violations("ok = a == b\n") == []
+
+
+def test_int_cycles_integer_delay_clean():
+    assert _violations("sim.schedule(delay // 2, fn)\n") == []
+
+
+def test_lambda_flagged_pickle_safe():
+    assert "pickle-safe" in _rules_hit("f = lambda x: x\n")
+
+
+# ---------------------------------------------------------------------
+# scopes
+# ---------------------------------------------------------------------
+
+def test_scope_catalogue_sizes():
+    assert len(RULES) >= 8  # the acceptance floor
+    assert len({r.id for r in RULES}) == len(RULES)
+
+
+def test_sim_path_scope_resolution():
+    assert "sim-print" in active_rules("htm/node.py")
+    assert "sim-print" not in active_rules("analysis/report.py")
+    assert "pickle-safe" in active_rules("analysis/parallel.py")
+    assert "pickle-safe" not in active_rules("htm/node.py")
+    assert "sim-rng" not in active_rules("sim/rng.py")  # the factory
+    # fixtures outside the package get everything
+    assert active_rules(None) == {r.id for r in RULES}
+
+
+# ---------------------------------------------------------------------
+# disable comments
+# ---------------------------------------------------------------------
+
+def test_disable_comment_specific_rule():
+    src = "import random\nx = random.random()  # lint: disable=sim-rng\n"
+    assert _violations(src) == []
+
+
+def test_disable_comment_all_rules():
+    src = "import random\nx = random.random()  # lint: disable\n"
+    assert _violations(src) == []
+
+
+def test_disable_comment_other_rule_keeps_violation():
+    src = "import random\nx = random.random()  # lint: disable=sim-print\n"
+    assert "sim-rng" in {v.rule for v in _violations(src)}
+
+
+# ---------------------------------------------------------------------
+# report formats / CLI exit codes
+# ---------------------------------------------------------------------
+
+def test_json_report_schema(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(FIXTURES["sim-rng"])
+    report = lint_paths([bad])
+    payload = json.loads(report.to_json())
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["tool"] == "repro-lint"
+    assert payload["files_scanned"] == 1
+    assert payload["violation_count"] == len(payload["violations"]) >= 1
+    v = payload["violations"][0]
+    assert set(v) == {"path", "line", "col", "rule", "message"}
+    assert v["rule"] in RULES_BY_ID
+    assert payload["errors"] == []
+    assert set(payload["rules"]) == set(RULES_BY_ID)
+
+
+def test_text_report_format(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(FIXTURES["bare-except"])
+    report = lint_paths([bad])
+    line = report.render_text().splitlines()[0]
+    # file:line rule-id message
+    assert line.startswith(f"{bad}:")
+    assert " bare-except " in line
+
+
+def test_cli_lint_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(FIXTURES["mutable-default"])
+    assert main(["lint", str(bad)]) == 1
+    ok = tmp_path / "ok.py"
+    ok.write_text("x = 1\n")
+    assert main(["lint", str(ok)]) == 0
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    assert main(["lint", str(broken)]) == 2
+    capsys.readouterr()
+
+
+def test_cli_lint_json_output(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(FIXTURES["sim-print"])
+    assert main(["lint", "--format", "json", str(bad)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["violation_count"] >= 1
+
+
+def test_cli_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule.id in out
+    assert list_rules_text() in out
+
+
+# ---------------------------------------------------------------------
+# the gate: the package itself must be clean
+# ---------------------------------------------------------------------
+
+def test_repro_package_is_lint_clean():
+    report = lint_paths()
+    assert report.errors == []
+    assert report.violations == [], report.render_text()
+    assert report.exit_code == 0
+    assert report.files_scanned > 40

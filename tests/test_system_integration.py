@@ -227,3 +227,41 @@ def test_unknown_cm_rejected():
     wl = Workload("t", [[Gap(1)] for _ in range(4)])
     with pytest.raises(KeyError):
         System(small_config(4), wl, cm="nope")
+
+
+# ---------------------------------------------------------------------
+# sanitized end-to-end tours (REPRO_SANITIZE=1)
+# ---------------------------------------------------------------------
+
+def test_sanitized_stamp_tour(monkeypatch):
+    """Every STAMP analogue completes under the protocol sanitizer with
+    zero violations — the whole protocol state machine, PUNO included,
+    swept at every event boundary."""
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    from repro.workloads.stamp import STAMP_WORKLOADS, make_stamp_workload
+    cfg = small_config(8).with_puno()
+    for name in STAMP_WORKLOADS:
+        wl = make_stamp_workload(name, num_nodes=8, scale=0.1)
+        r = run_workload(cfg, wl, cm="puno", max_cycles=20_000_000)
+        assert r.stats.tx_committed == wl.total_instances(), name
+        assert r.stats.sanitizer_checks > 0, name
+        assert r.extras["sanitizer_checks"] > 0, name
+
+
+def test_sanitized_parallel_sweep(monkeypatch):
+    """Fork workers inherit REPRO_SANITIZE and the check counter rides
+    the pickled Stats back — every grid cell provably ran sanitized
+    (and uncached: a cache hit would check nothing)."""
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    from repro.analysis.sweep import SchemeSweep
+    from repro.analysis.parallel import WorkloadSpec
+    schemes = {
+        "baseline": ("baseline", small_config(4)),
+        "puno": ("puno", small_config(4).with_puno()),
+    }
+    specs = {"intruder": WorkloadSpec("intruder", num_nodes=4,
+                                     scale=0.05, seed=0)}
+    sweep = SchemeSweep(schemes, max_cycles=20_000_000, jobs=2,
+                        cache=False).run(specs)
+    for scheme in schemes:
+        assert sweep.stats["intruder"][scheme].sanitizer_checks > 0, scheme
