@@ -1,0 +1,284 @@
+#!/usr/bin/env python
+"""Hot-path microbenchmarks: message allocation, network send/deliver,
+handler dispatch, raw event-engine throughput, and an end-to-end
+STAMP-tour event-rate measurement.
+
+Writes ``BENCH_hotpath.json`` (repo root by default) so the perf
+trajectory is versioned alongside the code.  ``--check BASELINE.json``
+compares the fresh end-to-end aggregate event rate against a committed
+baseline and exits non-zero only on a gross (>2x) regression — loose
+enough to ride out shared-runner noise, tight enough to catch a
+quadratic slip on the hot path.
+
+Run directly (no install needed)::
+
+    python benchmarks/bench_micro.py --quick
+    python benchmarks/bench_micro.py --check BENCH_hotpath.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = REPO_ROOT / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+# The STAMP-tour cells the end-to-end phase measures (workload, scheme).
+TOUR_CELLS = (("intruder", "baseline"), ("intruder", "puno"),
+              ("vacation", "puno"))
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Smallest wall time of ``repeats`` calls to ``fn()`` (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# ---------------------------------------------------------------------
+# phase 1: message construction
+# ---------------------------------------------------------------------
+
+def bench_message_construct(n: int, repeats: int) -> dict:
+    from repro.network.message import Message, MessageType, make_nack
+
+    def keyword():
+        for _ in range(n):
+            Message(MessageType.NACK, 0x40, 3, 7, requester=7, req_id=11,
+                    terminal=True, t_est=120)
+
+    def factory():
+        for _ in range(n):
+            make_nack(0x40, 3, 7, 11, terminal=True, t_est=120)
+
+    kw = _best_of(keyword, repeats)
+    fa = _best_of(factory, repeats)
+    return {"n": n,
+            "keyword_ns_per_msg": kw / n * 1e9,
+            "factory_ns_per_msg": fa / n * 1e9}
+
+
+# ---------------------------------------------------------------------
+# phase 2: raw event-engine throughput
+# ---------------------------------------------------------------------
+
+def bench_event_engine(n: int, repeats: int) -> dict:
+    from repro.sim.engine import Simulator
+
+    def drain():
+        sim = Simulator()
+
+        def noop():
+            pass
+
+        for i in range(n):
+            sim.schedule(i & 63, noop)
+        sim.run()
+
+    wall = _best_of(drain, repeats)
+    return {"n": n, "events_per_sec": n / wall}
+
+
+# ---------------------------------------------------------------------
+# phase 3: network send + deliver
+# ---------------------------------------------------------------------
+
+def bench_send_deliver(n: int, repeats: int) -> dict:
+    from repro.network.message import Message, MessageType
+    from repro.network.network import Network
+    from repro.network.topology import Mesh
+    from repro.sim.config import NetworkConfig
+    from repro.sim.engine import Simulator
+    from repro.sim.stats import Stats
+
+    cfg = NetworkConfig()
+    num = cfg.num_nodes
+    msgs = [Message(MessageType.GETS, i, i % num, (i * 7) % num)
+            for i in range(n)]
+
+    def pump():
+        sim = Simulator()
+        stats = Stats(num)
+        net = Network(sim, Mesh(cfg), stats)
+        sink = (lambda m: None)
+        for node in range(num):
+            net.register(node, sink)
+        send = net.send
+        for m in msgs:
+            send(m)
+        sim.run()
+
+    wall = _best_of(pump, repeats)
+    return {"n": n, "messages_per_sec": n / wall}
+
+
+# ---------------------------------------------------------------------
+# phase 4: handler dispatch
+# ---------------------------------------------------------------------
+
+def bench_dispatch(n: int, repeats: int) -> dict:
+    """node.receive() of a PUT_ACK — table dispatch plus an idempotent
+    handler, isolating the per-message dispatch overhead."""
+    from repro.network.message import make_put_ack
+    from repro.sim.config import SystemConfig
+    from repro.system import System
+    from repro.workloads.stamp import make_stamp_workload
+
+    wl = make_stamp_workload("intruder", num_nodes=16, scale=0.05, seed=0)
+    system = System(SystemConfig(seed=0), wl, "baseline")
+    node = system.nodes[0]
+    msg = make_put_ack(0x80, 8, 0, 1)
+
+    def spin():
+        receive = node.receive
+        for _ in range(n):
+            receive(msg)
+
+    wall = _best_of(spin, repeats)
+    return {"n": n, "ns_per_receive": wall / n * 1e9}
+
+
+# ---------------------------------------------------------------------
+# phase 5: end-to-end STAMP tour
+# ---------------------------------------------------------------------
+
+def _canon(o):
+    """Stable JSON form: enum keys to names, dict keys sorted."""
+    if isinstance(o, dict):
+        return {getattr(k, "name", str(k)): _canon(v)
+                for k, v in sorted(o.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(o, list):
+        return [_canon(v) for v in o]
+    return o
+
+
+def bench_end_to_end(scale: float, repeats: int) -> dict:
+    from repro.sim.config import SystemConfig
+    from repro.system import System
+    from repro.workloads.stamp import make_stamp_workload
+
+    out = {}
+    total_events = 0
+    total_wall = 0.0
+    for wl_name, scheme in TOUR_CELLS:
+        best = float("inf")
+        events = 0
+        snap_sha = ""
+        for _ in range(repeats):
+            wl = make_stamp_workload(wl_name, num_nodes=16, scale=scale,
+                                     seed=0)
+            cfg = SystemConfig(seed=0)
+            if scheme == "puno":
+                cfg = cfg.with_puno()
+            system = System(cfg, wl, scheme)
+            t0 = time.perf_counter()
+            result = system.run()
+            wall = time.perf_counter() - t0
+            best = min(best, wall)
+            events = system.sim.events_processed
+            blob = json.dumps(_canon(result.stats.snapshot()),
+                              sort_keys=True)
+            sha = hashlib.sha256(blob.encode()).hexdigest()[:16]
+            if snap_sha and sha != snap_sha:
+                raise AssertionError(
+                    f"nondeterministic run: {wl_name}/{scheme} snapshot "
+                    f"changed between repeats")
+            snap_sha = sha
+        key = f"{wl_name}/{scheme}"
+        out[key] = {"events": events, "events_per_sec": events / best,
+                    "snapshot_sha": snap_sha}
+        total_events += events
+        total_wall += best
+    out["aggregate_events_per_sec"] = total_events / total_wall
+    return out
+
+
+# ---------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------
+
+def run_benchmarks(scale: float, repeats: int, micro_n: int) -> dict:
+    report = {
+        "schema": 1,
+        "bench": "hotpath",
+        "python": platform.python_version(),
+        "scale": scale,
+        "repeats": repeats,
+        "phases": {
+            "message_construct": bench_message_construct(micro_n, repeats),
+            "event_engine": bench_event_engine(micro_n, repeats),
+            "send_deliver": bench_send_deliver(micro_n // 4, repeats),
+            "dispatch": bench_dispatch(micro_n, repeats),
+        },
+        "end_to_end": bench_end_to_end(scale, repeats),
+    }
+    return report
+
+
+def check_against(report: dict, baseline_path: Path,
+                  tolerance: float = 2.0) -> int:
+    """0 when the fresh aggregate rate is within ``tolerance``x of the
+    committed baseline, 1 on a gross regression."""
+    baseline = json.loads(baseline_path.read_text())
+    ref = baseline["end_to_end"]["aggregate_events_per_sec"]
+    fresh = report["end_to_end"]["aggregate_events_per_sec"]
+    ratio = ref / fresh if fresh else float("inf")
+    print(f"perf check: fresh {fresh:.0f} ev/s vs baseline {ref:.0f} ev/s "
+          f"(slowdown {ratio:.2f}x, limit {tolerance:.1f}x)")
+    if ratio > tolerance:
+        print("perf check FAILED: gross event-rate regression")
+        return 1
+    print("perf check OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--scale", type=float, default=0.3,
+                    help="STAMP workload scale for the end-to-end phase")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="repetitions per phase (best-of)")
+    ap.add_argument("--micro-n", type=int, default=200_000,
+                    help="iterations for the micro phases")
+    ap.add_argument("--quick", action="store_true",
+                    help="small config for CI smoke (scale 0.1, 20k iters)")
+    ap.add_argument("--out", type=Path,
+                    default=REPO_ROOT / "BENCH_hotpath.json",
+                    help="output JSON path")
+    ap.add_argument("--check", type=Path, metavar="BASELINE",
+                    help="compare against a committed baseline JSON; "
+                         "exit 1 on >2x aggregate event-rate regression")
+    args = ap.parse_args(argv)
+
+    scale = 0.1 if args.quick else args.scale
+    micro_n = 20_000 if args.quick else args.micro_n
+
+    report = run_benchmarks(scale, args.repeats, micro_n)
+
+    args.out.write_text(json.dumps(report, indent=1) + "\n")
+    e2e = report["end_to_end"]
+    for cell in (f"{w}/{s}" for w, s in TOUR_CELLS):
+        r = e2e[cell]
+        print(f"{cell}: {r['events']} events @ {r['events_per_sec']:.0f} "
+              f"ev/s  snapshot {r['snapshot_sha']}")
+    print(f"aggregate: {e2e['aggregate_events_per_sec']:.0f} ev/s")
+    print(f"wrote {args.out}")
+
+    if args.check is not None:
+        return check_against(report, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,8 @@ Commands:
 * ``workloads`` — list the available workloads and their parameters.
 * ``area`` — print the PUNO area/power estimate (Table III).
 * ``lint`` — run the simulator-specific static analysis suite.
+* ``profile`` — run one cell under cProfile with per-event-callback
+  and per-message-type accounting.
 
 ``run``/``compare``/``experiment`` accept ``--sanitize`` to enable the
 dynamic protocol sanitizer (equivalent to ``REPRO_SANITIZE=1``).
@@ -234,6 +236,23 @@ def cmd_lint(args) -> int:
     return report.exit_code
 
 
+def cmd_profile(args) -> int:
+    from repro.analysis.profiler import profile_run
+    wl = _make_workload(args)
+    cfg = _make_config(args, args.scheme)
+    report = profile_run(wl, cfg, args.scheme, top=args.top,
+                         max_cycles=args.max_cycles)
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report.to_dict(), f, indent=1)
+        print(f"wrote profile to {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1))
+    else:
+        print(report.render_text())
+    return 0
+
+
 def cmd_area(args) -> int:
     est = estimate_overhead(pbuffer_entries=args.pbuffer,
                             txlb_entries=args.txlb)
@@ -330,6 +349,18 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
 
+    prof_p = sub.add_parser(
+        "profile", help="cProfile one cell with per-callback and "
+                        "per-message-type accounting")
+    common(prof_p)
+    prof_p.add_argument("--scheme", choices=SCHEMES, default="baseline")
+    prof_p.add_argument("--top", type=int, default=15,
+                        help="rows per profile section")
+    prof_p.add_argument("--json", action="store_true",
+                        help="print the report as JSON")
+    prof_p.add_argument("--out", metavar="FILE",
+                        help="also write the JSON report to FILE")
+
     area_p = sub.add_parser("area", help="Table III area/power model")
     area_p.add_argument("--pbuffer", type=int, default=16)
     area_p.add_argument("--txlb", type=int, default=32)
@@ -348,6 +379,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": cmd_experiment,
         "area": cmd_area,
         "lint": cmd_lint,
+        "profile": cmd_profile,
     }
     return handlers[args.command](args)
 

@@ -54,6 +54,9 @@ class L1Cache:
         self._sets: List[Dict[int, CacheLine]] = [
             {} for _ in range(config.num_sets)
         ]
+        # num_sets chains two properties on a frozen dataclass — cache
+        # it, _set_for runs once per access
+        self._num_sets = config.num_sets
         self._tick = 0
         self.hits = 0
         self.misses = 0
@@ -61,7 +64,7 @@ class L1Cache:
 
     # ------------------------------------------------------------------
     def _set_for(self, addr: int) -> Dict[int, CacheLine]:
-        return self._sets[self.config.set_index(addr)]
+        return self._sets[addr % self._num_sets]
 
     def lookup(self, addr: int, touch: bool = True) -> Optional[CacheLine]:
         """Return the resident line or None.  Updates LRU on touch."""

@@ -21,11 +21,15 @@ from collections import deque
 from typing import Deque, Dict, Optional, Set, Tuple
 
 from repro.coherence.states import DirState
-from repro.network.message import Message, MessageType
+from repro.network.message import Message, MessageType, make_put_ack
 from repro.network.network import Network
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Simulator
 from repro.sim.stats import Stats
+
+# Enum -> str once at import: the per-service stat charge below must
+# not pay the Enum.name descriptor per request.
+_TYPE_NAMES = {t: t.name for t in MessageType}
 
 
 class DirEntry:
@@ -82,19 +86,23 @@ class DirectoryController:
         self.puno = puno  # Optional[repro.core.puno.DirectoryPUNO]
         self.san = None  # Optional[repro.sanitize.sanitizer.ProtocolSanitizer]
         self.entries: Dict[int, DirEntry] = {}
+        # Per-instance message dispatch (bound methods, built once).
+        self.handlers = {
+            MessageType.GETS: self._enqueue_or_service,
+            MessageType.GETX: self._enqueue_or_service,
+            MessageType.PUT: self._enqueue_or_service,
+            MessageType.UNBLOCK: self._handle_unblock,
+            MessageType.WB_DATA: self._handle_wb_data,
+        }
 
     # ------------------------------------------------------------------
     # message entry point
     # ------------------------------------------------------------------
     def receive(self, msg: Message) -> None:
-        if msg.mtype in (MessageType.GETS, MessageType.GETX, MessageType.PUT):
-            self._enqueue_or_service(msg)
-        elif msg.mtype is MessageType.UNBLOCK:
-            self._handle_unblock(msg)
-        elif msg.mtype is MessageType.WB_DATA:
-            self._handle_wb_data(msg)
-        else:  # pragma: no cover - protocol bug guard
+        handler = self.handlers.get(msg.mtype)
+        if handler is None:  # pragma: no cover - protocol bug guard
             raise ValueError(f"directory {self.node} got {msg}")
+        handler(msg)
 
     def entry(self, addr: int) -> DirEntry:
         e = self.entries.get(addr)
@@ -114,7 +122,8 @@ class DirectoryController:
         self._service(msg, entry)
 
     def _service(self, msg: Message, entry: DirEntry) -> None:
-        self.stats.dir_requests[msg.mtype] += 1
+        # keyed by type *name*, same str keying as messages_by_type
+        self.stats.dir_requests[_TYPE_NAMES[msg.mtype]] += 1
         if self.stats.tracer is not None:
             self.stats.tracer.emit(
                 "dir", self.sim.now, event="service", home=self.node,
@@ -341,10 +350,7 @@ class DirectoryController:
                 entry.sharers = set()
                 entry.tx_readers = {}
         # else: stale writeback (ownership already moved on) — drop it.
-        ack = Message(
-            MessageType.PUT_ACK, msg.addr, self.node, msg.src,
-            requester=msg.src, req_id=msg.req_id,
-        )
+        ack = make_put_ack(msg.addr, self.node, msg.src, msg.req_id)
         self.network.send(ack, extra_delay=self.config.directory_latency)
 
     # ------------------------------------------------------------------

@@ -26,7 +26,8 @@ from repro.core.txlb import TxLB
 from repro.htm.conflict import Decision, check_fwd_gets, check_fwd_getx
 from repro.htm.contention.base import ContentionManager
 from repro.htm.transaction import Transaction, TxStatus
-from repro.network.message import Message, MessageType, TxTag
+from repro.network.message import (Message, MessageType, TxTag, make_ack,
+                                   make_nack, make_unblock)
 from repro.network.network import Network
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Event, Simulator
@@ -111,6 +112,19 @@ class NodeController:
         # atomicity audit: increments applied by committed work only
         self.committed_increments = 0
         self._attempt_increments = 0
+
+        # Per-instance message dispatch: bound methods resolve subclass
+        # overrides once, here, instead of an elif chain per message.
+        self.handlers: Dict[MessageType, Callable[[Message], None]] = {
+            MessageType.DATA: self._mshr_response,
+            MessageType.DATA_EXCL: self._mshr_response,
+            MessageType.GRANT: self._mshr_response,
+            MessageType.ACK: self._mshr_response,
+            MessageType.NACK: self._mshr_response,
+            MessageType.FWD_GETX: self._handle_fwd_getx,
+            MessageType.FWD_GETS: self._handle_fwd_gets,
+            MessageType.PUT_ACK: self._handle_put_ack,
+        }
 
     # ==================================================================
     # program execution
@@ -386,18 +400,10 @@ class NodeController:
     # incoming messages
     # ==================================================================
     def receive(self, msg: Message) -> None:
-        t = msg.mtype
-        if t in (MessageType.DATA, MessageType.DATA_EXCL, MessageType.GRANT,
-                 MessageType.ACK, MessageType.NACK):
-            self._mshr_response(msg)
-        elif t is MessageType.FWD_GETX:
-            self._handle_fwd_getx(msg)
-        elif t is MessageType.FWD_GETS:
-            self._handle_fwd_gets(msg)
-        elif t is MessageType.PUT_ACK:
-            self._handle_put_ack(msg)
-        else:  # pragma: no cover - protocol bug guard
+        handler = self.handlers.get(msg.mtype)
+        if handler is None:  # pragma: no cover - protocol bug guard
             raise ValueError(f"node {self.node} got {msg}")
+        handler(msg)
 
     # ------------------------------------------------------------------
     # requester side: response collection
@@ -456,11 +462,9 @@ class NodeController:
 
         if needs_unblock:
             mp_node = m.mp_node()
-            unblock = Message(
-                MessageType.UNBLOCK, m.addr, self.node,
-                self.config.home_node(m.addr), requester=self.node,
-                req_id=m.req_id, success=success,
-                survivors=tuple(n.src for n in m.nacks),
+            unblock = make_unblock(
+                m.addr, self.node, self.config.home_node(m.addr), m.req_id,
+                success=success, survivors=tuple(n.src for n in m.nacks),
                 mp_bit=mp_node >= 0, mp_node=mp_node,
             )
             self.network.send(unblock, extra_delay=1)
@@ -620,9 +624,8 @@ class NodeController:
                     self.stats.puno_mp_no_conflict += 1
                 else:
                     self.stats.puno_mp_younger += 1
-            resp = Message(
-                MessageType.NACK, addr, self.node, msg.requester,
-                requester=msg.requester, req_id=msg.req_id,
+            resp = make_nack(
+                addr, self.node, msg.requester, msg.req_id,
                 terminal=True, u_bit=True, mp_bit=mp,
                 t_est=-1 if mp else self._notification(),
             )
@@ -635,9 +638,8 @@ class NodeController:
             self.san.check_conflict_decision(self, msg, dec, "getx")
         if dec is Decision.NACK:
             notify = msg.terminal  # owner path is a natural unicast
-            resp = Message(
-                MessageType.NACK, addr, self.node, msg.requester,
-                requester=msg.requester, req_id=msg.req_id,
+            resp = make_nack(
+                addr, self.node, msg.requester, msg.req_id,
                 terminal=msg.terminal, acks_expected=msg.acks_expected,
                 t_est=self._notification() if notify else -1,
             )
@@ -669,9 +671,8 @@ class NodeController:
         else:
             if line is not None:
                 self.l1.invalidate(addr)
-            resp = Message(
-                MessageType.ACK, addr, self.node, msg.requester,
-                requester=msg.requester, req_id=msg.req_id,
+            resp = make_ack(
+                addr, self.node, msg.requester, msg.req_id,
                 acks_expected=msg.acks_expected, aborted=aborted,
             )
         self.network.send(resp, extra_delay=1)
@@ -683,9 +684,8 @@ class NodeController:
         if self.san is not None:
             self.san.check_conflict_decision(self, msg, dec, "gets")
         if dec is Decision.NACK:
-            resp = Message(
-                MessageType.NACK, addr, self.node, msg.requester,
-                requester=msg.requester, req_id=msg.req_id,
+            resp = make_nack(
+                addr, self.node, msg.requester, msg.req_id,
                 terminal=True, t_est=self._notification(),
             )
             self.nstats.nacks_sent += 1

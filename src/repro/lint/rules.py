@@ -14,7 +14,10 @@ Scopes
   engine): everything under ``coherence/``, ``core/``, ``htm/``,
   ``network/`` plus ``sim/engine.py``;
 * ``pickle-boundary`` — modules whose objects cross process
-  boundaries (``analysis/parallel.py``, ``sim/resultcache.py``).
+  boundaries (``analysis/parallel.py``, ``sim/resultcache.py``);
+* ``hot-path`` — modules whose objects are allocated or touched per
+  message/event (everything under ``network/``, ``sim/`` and
+  ``coherence/``).
 
 Files that are *not* part of the ``repro`` package (e.g. test
 fixtures) are linted under the strictest scope: every rule applies.
@@ -61,6 +64,9 @@ RULES: Tuple[Rule, ...] = (
          "or pass through config)"),
     Rule("bare-except", "all",
          "no bare except: clauses (name the exception type)"),
+    Rule("dataclass-slots", "hot-path",
+         "hot-path dataclasses must declare slots (slots=True or "
+         "__slots__); per-instance dicts cost allocation and lookups"),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {r.id: r for r in RULES}
@@ -73,6 +79,8 @@ SIM_PATH_PREFIXES = ("coherence/", "core/", "htm/", "network/")
 SIM_PATH_FILES = ("sim/engine.py",)
 
 PICKLE_BOUNDARY_FILES = ("analysis/parallel.py", "sim/resultcache.py")
+
+HOT_PATH_PREFIXES = ("network/", "sim/", "coherence/")
 
 # Attributes that are known to be set-typed in this codebase; iterating
 # them directly is flagged by set-iteration.
@@ -117,6 +125,7 @@ def active_rules(relpath: Optional[str]) -> Set[str]:
     sim_path = (relpath.startswith(SIM_PATH_PREFIXES)
                 or relpath in SIM_PATH_FILES)
     pickle_boundary = relpath in PICKLE_BOUNDARY_FILES
+    hot_path = relpath.startswith(HOT_PATH_PREFIXES)
     out: Set[str] = set()
     for r in RULES:
         if r.scope == "all":
@@ -124,6 +133,8 @@ def active_rules(relpath: Optional[str]) -> Set[str]:
         elif r.scope == "sim-path" and sim_path:
             out.add(r.id)
         elif r.scope == "pickle-boundary" and pickle_boundary:
+            out.add(r.id)
+        elif r.scope == "hot-path" and hot_path:
             out.add(r.id)
     if relpath in RNG_EXEMPT:
         out.discard("sim-rng")
@@ -401,6 +412,47 @@ class FileChecker(ast.NodeVisitor):
                 self._emit(node, "float-eq",
                            "float == / != on cycle or latency math is "
                            "unreliable; compare ints or use a tolerance")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # dataclasses without slots (hot-path modules)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _dataclass_decorator(node: ast.ClassDef) -> Optional[ast.AST]:
+        """The @dataclass decorator node, in any of its spellings."""
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            if _dotted(target) in ("dataclass", "dataclasses.dataclass"):
+                return dec
+        return None
+
+    @staticmethod
+    def _declares_slots(node: ast.ClassDef, dec: ast.AST) -> bool:
+        if isinstance(dec, ast.Call):
+            for kw in dec.keywords:
+                if (kw.arg == "slots"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True):
+                    return True
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                if any(isinstance(t, ast.Name) and t.id == "__slots__"
+                       for t in stmt.targets):
+                    return True
+            elif (isinstance(stmt, ast.AnnAssign)
+                  and isinstance(stmt.target, ast.Name)
+                  and stmt.target.id == "__slots__"):
+                return True
+        return False
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        dec = self._dataclass_decorator(node)
+        if dec is not None and not self._declares_slots(node, dec):
+            self._emit(node, "dataclass-slots",
+                       f"dataclass {node.name!r} in a hot-path module "
+                       f"has no __slots__; pass slots=True (or disable "
+                       f"with a rationale if instances must keep a "
+                       f"__dict__, e.g. for 3.10 frozen-pickle compat)")
         self.generic_visit(node)
 
     # ------------------------------------------------------------------

@@ -11,13 +11,33 @@ The paper (Fig. 7) extends three messages:
 
 All extensions fit in existing flits, so message flit counts do not
 change between the baseline and PUNO (also per the paper).
+
+Hot-path notes
+--------------
+
+Multi-million-event runs allocate one :class:`Message` per coherence
+hop, so the class is deliberately *not* a dataclass: it is a
+``__slots__`` class (no per-instance ``__dict__``) with a hand-written
+``__init__`` whose parameter order matches the original dataclass field
+order — every existing keyword call site still works, and hot paths may
+bind the six identity fields positionally.  The common no-payload
+response shapes additionally get flyweight factories (:func:`make_ack`,
+:func:`make_nack`, :func:`make_put_ack`, :func:`make_unblock`) that fix
+the redundant fields (a response's ``requester`` *is* its destination;
+an UNBLOCK's ``requester`` is its source) and construct fully
+positionally.
+
+:class:`MessageType` pins ``__hash__`` to the identity hash: enum
+members are singletons, so hashing by id is exact — and C-level, which
+matters because every send and every dispatch-table lookup hashes a
+``MessageType``.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple
 
 
@@ -43,6 +63,10 @@ class MessageType(enum.Enum):
     PUT_ACK = "PUT_ACK"  # directory acknowledges a writeback
     WB_DATA = "WB_DATA"  # owner -> directory data on downgrade
 
+    # Members are singletons: identity hash is exact and C-level,
+    # unlike enum's default name-based Python __hash__.
+    __hash__ = object.__hash__
+
 
 # Flit sizing: data-bearing messages carry the 64 B line.
 DATA_TYPES: FrozenSet[MessageType] = frozenset(
@@ -51,7 +75,7 @@ DATA_TYPES: FrozenSet[MessageType] = frozenset(
 CONTROL_TYPES: FrozenSet[MessageType] = frozenset(set(MessageType) - set(DATA_TYPES))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxTag:
     """Transactional identity carried by coherence requests.
 
@@ -75,51 +99,78 @@ class TxTag:
 _msg_ids = itertools.count()
 
 
-@dataclass
 class Message:
-    """One coherence message in flight."""
+    """One coherence message in flight.
 
-    mtype: MessageType
-    addr: int
-    src: int
-    dst: int
-    # Identity of the original requester (survives forwarding).
-    requester: int = -1
-    # Correlates forwards/responses with the request being serviced.
-    req_id: int = -1
-    # Transaction tag of the requester (None for non-transactional).
-    tx: Optional[TxTag] = None
-    # Cache-line value payload for data-bearing messages.
-    value: int = 0
-    # DATA(_EXCL)/GRANT: how many ACK/NACK responses the requester must
-    # await; echoed on forwards so responders can relay it.
-    acks_expected: int = 0
-    # On forwards/responses: single-responder path (owner forward or
-    # PUNO unicast) where one response resolves the whole request.
-    terminal: bool = False
-    # On ACK: the sharer aborted a transaction to comply (false-abort
-    # classification input for Figs. 2-3).
-    aborted: bool = False
-    # On PUT: sticky writeback of a transactionally-read E line — the
-    # directory downgrades to Shared and keeps the evictor on the
-    # sharer list so conflict detection still reaches it (LogTM's
-    # sticky-S idiom).
-    sticky: bool = False
-    # On GETX/FWD_GETX: a lazy transaction's commit-time publication —
-    # committer-wins: transactional sharers always comply and abort
-    # (see repro.htm.lazy).
-    committing: bool = False
-    # UNBLOCK: whether the GETX succeeded, and which sharers nacked
-    # (they keep their copies; everyone else was invalidated).
-    success: bool = True
-    survivors: Tuple[int, ...] = ()
-    # --- PUNO extensions (Fig. 7) --------------------------------------
-    u_bit: bool = False  # on FWD_GETX: this is a unicast probe
-    t_est: int = -1  # on NACK: nacker's estimated remaining cycles
-    mp_bit: bool = False  # on NACK/UNBLOCK: misprediction feedback
-    mp_node: int = -1  # on UNBLOCK: the mispredicted destination
-    # bookkeeping
-    uid: int = field(default_factory=lambda: next(_msg_ids))
+    Field reference (parameter order is frozen — positional callers and
+    the flyweight factories below depend on it):
+
+    * ``requester`` — identity of the original requester (survives
+      forwarding);
+    * ``req_id`` — correlates forwards/responses with the request being
+      serviced;
+    * ``tx`` — transaction tag of the requester (None for
+      non-transactional);
+    * ``value`` — cache-line value payload for data-bearing messages;
+    * ``acks_expected`` — on DATA(_EXCL)/GRANT: how many ACK/NACK
+      responses the requester must await; echoed on forwards so
+      responders can relay it;
+    * ``terminal`` — on forwards/responses: single-responder path
+      (owner forward or PUNO unicast) where one response resolves the
+      whole request;
+    * ``aborted`` — on ACK: the sharer aborted a transaction to comply
+      (false-abort classification input for Figs. 2-3);
+    * ``sticky`` — on PUT: sticky writeback of a transactionally-read E
+      line — the directory downgrades to Shared and keeps the evictor
+      on the sharer list so conflict detection still reaches it
+      (LogTM's sticky-S idiom);
+    * ``committing`` — on GETX/FWD_GETX: a lazy transaction's
+      commit-time publication — committer-wins: transactional sharers
+      always comply and abort (see repro.htm.lazy);
+    * ``success`` / ``survivors`` — UNBLOCK: whether the GETX
+      succeeded, and which sharers nacked (they keep their copies;
+      everyone else was invalidated);
+    * ``u_bit`` / ``t_est`` / ``mp_bit`` / ``mp_node`` — the PUNO
+      extensions of Fig. 7 (unicast probe marker, nacker's estimated
+      remaining cycles, misprediction feedback, mispredicted
+      destination);
+    * ``uid`` — bookkeeping: unique per constructed message.
+    """
+
+    __slots__ = ("mtype", "addr", "src", "dst", "requester", "req_id",
+                 "tx", "value", "acks_expected", "terminal", "aborted",
+                 "sticky", "committing", "success", "survivors",
+                 "u_bit", "t_est", "mp_bit", "mp_node", "uid")
+
+    def __init__(self, mtype: MessageType, addr: int, src: int, dst: int,
+                 requester: int = -1, req_id: int = -1,
+                 tx: Optional[TxTag] = None, value: int = 0,
+                 acks_expected: int = 0, terminal: bool = False,
+                 aborted: bool = False, sticky: bool = False,
+                 committing: bool = False, success: bool = True,
+                 survivors: Tuple[int, ...] = (), u_bit: bool = False,
+                 t_est: int = -1, mp_bit: bool = False, mp_node: int = -1,
+                 uid: Optional[int] = None):
+        self.mtype = mtype
+        self.addr = addr
+        self.src = src
+        self.dst = dst
+        self.requester = requester
+        self.req_id = req_id
+        self.tx = tx
+        self.value = value
+        self.acks_expected = acks_expected
+        self.terminal = terminal
+        self.aborted = aborted
+        self.sticky = sticky
+        self.committing = committing
+        self.success = success
+        self.survivors = survivors
+        self.u_bit = u_bit
+        self.t_est = t_est
+        self.mp_bit = mp_bit
+        self.mp_node = mp_node
+        self.uid = next(_msg_ids) if uid is None else uid
 
     def flits(self, control_flits: int, data_flits: int) -> int:
         return data_flits if self.mtype in DATA_TYPES else control_flits
@@ -140,6 +191,46 @@ class Message:
             f"<{self.mtype.value} addr={self.addr} {self.src}->{self.dst}"
             f" req={self.requester}#{self.req_id}{extra}>"
         )
+
+
+# ---------------------------------------------------------------------
+# flyweight response factories
+# ---------------------------------------------------------------------
+# A response travels *to* the requester, so ``requester == dst``; an
+# UNBLOCK travels *from* the requester, so ``requester == src``.  The
+# factories bake those identities in and call the constructor fully
+# positionally — the cheapest construction path for the shapes that
+# dominate message traffic.
+
+def make_ack(addr: int, src: int, dst: int, req_id: int,
+             acks_expected: int = 0, aborted: bool = False) -> Message:
+    """Invalidation ACK to the requester at ``dst``."""
+    return Message(MessageType.ACK, addr, src, dst, dst, req_id, None, 0,
+                   acks_expected, False, aborted)
+
+
+def make_nack(addr: int, src: int, dst: int, req_id: int,
+              terminal: bool = False, acks_expected: int = 0,
+              u_bit: bool = False, t_est: int = -1,
+              mp_bit: bool = False) -> Message:
+    """Conflict NACK to the requester at ``dst``."""
+    return Message(MessageType.NACK, addr, src, dst, dst, req_id, None, 0,
+                   acks_expected, terminal, False, False, False, True, (),
+                   u_bit, t_est, mp_bit)
+
+
+def make_put_ack(addr: int, src: int, dst: int, req_id: int) -> Message:
+    """Directory acknowledgment of a writeback from ``dst``."""
+    return Message(MessageType.PUT_ACK, addr, src, dst, dst, req_id)
+
+
+def make_unblock(addr: int, src: int, dst: int, req_id: int,
+                 success: bool = True, survivors: Tuple[int, ...] = (),
+                 mp_bit: bool = False, mp_node: int = -1) -> Message:
+    """Entry-releasing UNBLOCK from the requester at ``src``."""
+    return Message(MessageType.UNBLOCK, addr, src, dst, src, req_id, None,
+                   0, 0, False, False, False, False, success, survivors,
+                   False, -1, mp_bit, mp_node)
 
 
 # Which message types may legally carry each protocol-extension field

@@ -1,16 +1,36 @@
 """Message transport with flit-accurate traffic accounting.
 
 Endpoints (node controllers and directory controllers) register a
-``receive(msg)`` callback per node id.  ``send`` computes the DOR path
-latency analytically and schedules delivery; every send credits the
-Fig. 11 traffic metric with ``flits x (hops + 1)`` router traversals.
+``receive(msg)`` callback per node id.  ``send`` charges the DOR path
+latency and schedules delivery; every send credits the Fig. 11 traffic
+metric with ``flits x (hops + 1)`` router traversals.
+
+Hot-path notes
+--------------
+
+``send`` runs once per coherence message — it is the hottest function
+in the simulator.  Three things keep it lean:
+
+* all per-(src, dst) route/latency/traversal quantities come from the
+  precomputed :class:`repro.network.topology.Mesh` tables (flat lists
+  indexed ``src * n + dst``) instead of per-message route walks;
+* per-type constants (flit count, stat key) are precomputed into
+  ``_msgmeta`` so the path neither branches on ``DATA_TYPES``
+  membership nor touches the slow ``Enum.name`` descriptor;
+* the sanitizer check is hoisted out entirely: assigning ``san``
+  switches the instance between ``_send_fast`` and ``_send_full`` (the
+  same shadowing trick ``engine.run`` uses for ``post_event``), so
+  unsanitized runs never test ``san is None`` per message.
+
+Delivery is scheduled directly on the destination's registered handler
+— there is no intermediate ``_deliver`` hop on the hot path.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict
 
-from repro.network.message import Message
+from repro.network.message import Message, MessageType
 from repro.network.topology import Mesh
 from repro.sim.engine import Simulator
 from repro.sim.stats import Stats
@@ -27,43 +47,80 @@ class Network:
         # flit geometry comes from the mesh's NetworkConfig
         self._control_flits = mesh.config.control_flits
         self._data_flits = mesh.config.data_flits
+        # per-type (flits, stat key): avoids DATA_TYPES membership tests
+        # and Enum.name descriptor lookups per message
+        cf, df = self._control_flits, self._data_flits
+        self._msgmeta = {
+            t: (df if t.name in ("DATA", "DATA_EXCL", "PUT", "WB_DATA")
+                else cf, t.name)
+            for t in MessageType
+        }
+        self._n = mesh.num_nodes
+        # pre-bound hot references: one load each per send
+        self._schedule = sim.schedule
+        self._mesh_lat = mesh._lat
+        self._mesh_trav = mesh._trav
         self._endpoints: Dict[int, Callable[[Message], None]] = {}
-        self.san = None  # Optional[repro.sanitize.sanitizer.ProtocolSanitizer]
+        self._san = None  # Optional[ProtocolSanitizer]
+        self.send = self._send_fast
         self.messages_sent = 0
-        # per-router flit traversals (hotspot analysis)
-        self.router_flits = [0] * mesh.num_nodes
+        # Per-(src, dst) flit counts; expanded to per-router traversals
+        # lazily by the router_flits property (hotspot analysis is
+        # post-run, so the hot path pays one list increment, not a
+        # route walk).
+        self._pair_flits = [0] * (self._n * self._n)
+
+    # ------------------------------------------------------------------
+    # sanitizer attachment selects the send implementation
+    # ------------------------------------------------------------------
+    @property
+    def san(self):
+        return self._san
+
+    @san.setter
+    def san(self, sanitizer) -> None:
+        self._san = sanitizer
+        self.send = self._send_full if sanitizer is not None else self._send_fast
 
     def register(self, node: int, handler: Callable[[Message], None]) -> None:
         if node in self._endpoints:
             raise ValueError(f"endpoint {node} already registered")
         self._endpoints[node] = handler
 
-    def send(self, msg: Message, extra_delay: int = 0) -> None:
+    def _send_fast(self, msg: Message, extra_delay: int = 0) -> None:
         """Inject ``msg``; it is delivered after the DOR path latency.
 
         ``extra_delay`` models source-side occupancy (e.g. directory
         lookup) without charging it to the network.
         """
-        if msg.dst not in self._endpoints:
+        # Endpoint lookup first: it doubles as the dst-validity check
+        # guarding the flat-table indexings below.
+        handler = self._endpoints.get(msg.dst)
+        if handler is None:
             raise KeyError(f"no endpoint registered for node {msg.dst}")
-        if self.san is not None:
-            self.san.check_message(msg)
-        flits = msg.flits(self._control_flits, self._data_flits)
-        self.stats.flits_injected += flits
-        self.stats.flit_router_traversals += self.mesh.router_traversals(
-            msg.src, msg.dst, flits
-        )
-        for router in self.mesh.route(msg.src, msg.dst):
-            self.router_flits[router] += flits
-        self.stats.messages_by_type[msg.mtype] += 1
+        flits, tname = self._msgmeta[msg.mtype]
+        idx = msg.src * self._n + msg.dst
+        stats = self.stats
+        stats.flits_injected += flits
+        stats.flit_router_traversals += self._mesh_trav[idx] * flits
+        self._pair_flits[idx] += flits
+        stats.messages_by_type[tname] += 1
         self.messages_sent += 1
-        if self.stats.tracer is not None:
-            self.stats.tracer.emit(
+        if stats.tracer is not None:
+            stats.tracer.emit(
                 "msg", self.sim.now, type=msg.mtype.value, addr=msg.addr,
                 src=msg.src, dst=msg.dst, req=msg.requester,
                 u=msg.u_bit, mp=msg.mp_bit)
-        latency = self.mesh.latency(msg.src, msg.dst) + extra_delay
-        self.sim.schedule(latency, self._deliver, msg)
+        self._schedule(self._mesh_lat[idx] + extra_delay, handler, msg)
+
+    def _send_full(self, msg: Message, extra_delay: int = 0) -> None:
+        """``_send_fast`` plus the per-message sanitizer check."""
+        self._san.check_message(msg)
+        self._send_fast(msg, extra_delay)
+
+    # ``send`` is an instance attribute bound in __init__/san setter;
+    # this class-level alias keeps Network.send introspectable.
+    send = _send_fast
 
     def _deliver(self, msg: Message) -> None:
         self._endpoints[msg.dst](msg)
@@ -71,6 +128,22 @@ class Network:
     # ------------------------------------------------------------------
     # hotspot analysis
     # ------------------------------------------------------------------
+    @property
+    def router_flits(self):
+        """Per-router flit traversals (mesh order).
+
+        Materialized on demand from the per-pair counts the hot path
+        accumulates; each DOR route is walked once per *pair*, not once
+        per message.
+        """
+        out = [0] * self._n
+        routes = self.mesh._routes
+        for idx, flits in enumerate(self._pair_flits):
+            if flits:
+                for router in routes[idx]:
+                    out[router] += flits
+        return out
+
     def hotspots(self, top: int = 5):
         """The ``top`` busiest routers as (node, flit-traversals)."""
         ranked = sorted(enumerate(self.router_flits),
@@ -80,13 +153,14 @@ class Network:
     def utilization_grid(self) -> str:
         """ASCII heat view of per-router flit traversals (mesh layout)."""
         w, h = self.mesh.width, self.mesh.height
-        vmax = max(self.router_flits) or 1
+        rf = self.router_flits
+        vmax = max(rf) or 1
         shades = " .:-=+*#%@"
         lines = []
         for y in range(h):
             row = []
             for x in range(w):
-                v = self.router_flits[self.mesh.node_at(x, y)]
+                v = rf[self.mesh.node_at(x, y)]
                 row.append(shades[min(int(9 * v / vmax), 9)] * 2)
             lines.append("".join(row))
         return "\n".join(lines)

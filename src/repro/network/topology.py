@@ -1,4 +1,14 @@
-"""2D mesh topology with dimension-order (X-then-Y) routing."""
+"""2D mesh topology with dimension-order (X-then-Y) routing.
+
+The mesh is static, so every per-pair quantity the hot send path needs
+— DOR route, end-to-end latency, router-traversal multiplier — is
+precomputed at construction into flat tables indexed ``src * n + dst``.
+N² is tiny at the 16–64 node scales of Table II (at most 4096 entries),
+and the tables turn `Network.send`'s per-message route walk plus two
+analytic latency evaluations into three list indexings.  The analytic
+formulas in :class:`repro.sim.config.NetworkConfig` remain the single
+source of truth; the tables are built from (and tested against) them.
+"""
 
 from __future__ import annotations
 
@@ -20,6 +30,19 @@ class Mesh:
         self.height = config.mesh_height
         self.num_nodes = config.num_nodes
         self._avg_latency = config.avg_latency()
+        # Flat per-(src, dst) tables, indexed src * num_nodes + dst.
+        n = self.num_nodes
+        routes: List[Tuple[int, ...]] = []
+        lat: List[int] = []
+        trav: List[int] = []  # per-flit router traversals = hops + 1
+        for src in range(n):
+            for dst in range(n):
+                routes.append(tuple(self._walk_route(src, dst)))
+                lat.append(config.latency(src, dst))
+                trav.append(config.hops(src, dst) + 1)
+        self._routes = routes
+        self._lat = lat
+        self._trav = trav
 
     def coords(self, node: int) -> Tuple[int, int]:
         if not 0 <= node < self.num_nodes:
@@ -29,11 +52,8 @@ class Mesh:
     def node_at(self, x: int, y: int) -> int:
         return y * self.width + x
 
-    def route(self, src: int, dst: int) -> List[int]:
-        """Ordered list of routers traversed, inclusive of endpoints.
-
-        X dimension is resolved first, then Y (dimension-order routing).
-        """
+    def _walk_route(self, src: int, dst: int) -> List[int]:
+        """DOR route walk; used once per pair to fill the route table."""
         sx, sy = self.coords(src)
         dx, dy = self.coords(dst)
         path = [src]
@@ -48,14 +68,21 @@ class Mesh:
             path.append(self.node_at(x, y))
         return path
 
+    def route(self, src: int, dst: int) -> List[int]:
+        """Ordered list of routers traversed, inclusive of endpoints.
+
+        X dimension is resolved first, then Y (dimension-order routing).
+        """
+        return list(self._routes[src * self.num_nodes + dst])
+
     def hops(self, src: int, dst: int) -> int:
-        return self.config.hops(src, dst)
+        return self._trav[src * self.num_nodes + dst] - 1
 
     def latency(self, src: int, dst: int) -> int:
-        return self.config.latency(src, dst)
+        return self._lat[src * self.num_nodes + dst]
 
     def router_traversals(self, src: int, dst: int, flits: int) -> int:
-        return self.config.router_traversals(src, dst, flits)
+        return self._trav[src * self.num_nodes + dst] * flits
 
     @property
     def avg_latency(self) -> float:

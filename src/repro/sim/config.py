@@ -16,7 +16,7 @@ from typing import Tuple
 
 
 @dataclass(frozen=True)
-class CacheConfig:
+class CacheConfig:  # lint: disable=dataclass-slots -- pickled across sweep workers; frozen+slots breaks 3.10 pickle; built once per run
     """Private L1 cache geometry and latency."""
 
     size_bytes: int = 32 * 1024
@@ -38,7 +38,7 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
-class NetworkConfig:
+class NetworkConfig:  # lint: disable=dataclass-slots -- pickled across sweep workers; frozen+slots breaks 3.10 pickle; built once per run
     """2D mesh on-chip network timing and flit geometry.
 
     The traffic metric of Fig. 11 is router traversals by flits, so the
@@ -99,7 +99,7 @@ class NetworkConfig:
 
 
 @dataclass(frozen=True)
-class HTMConfig:
+class HTMConfig:  # lint: disable=dataclass-slots -- pickled across sweep workers; frozen+slots breaks 3.10 pickle; built once per run
     """Eager log-based HTM parameters (LogTM/FASTM-like baseline)."""
 
     # Fixed requester backoff after a NACK in the baseline scheme.
@@ -123,7 +123,7 @@ class HTMConfig:
 
 
 @dataclass(frozen=True)
-class PUNOConfig:
+class PUNOConfig:  # lint: disable=dataclass-slots -- pickled across sweep workers; frozen+slots breaks 3.10 pickle; built once per run
     """PUNO hardware parameters (Section III)."""
 
     enabled: bool = False
@@ -184,7 +184,7 @@ class PUNOConfig:
 
 
 @dataclass(frozen=True)
-class SystemConfig:
+class SystemConfig:  # lint: disable=dataclass-slots -- pickled across sweep workers; frozen+slots breaks 3.10 pickle; built once per run
     """Top-level configuration bundle (Table II defaults)."""
 
     num_nodes: int = 16

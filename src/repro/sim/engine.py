@@ -10,6 +10,10 @@ enough for multi-million-event runs in pure Python.
 Hot-path notes
 --------------
 
+* Heap entries are ``(time, seq, Event)`` tuples, not bare events:
+  heap sifts compare tuples element-wise in C and — because ``seq`` is
+  unique — never fall through to the Event object, eliminating the
+  Python-level ``__lt__`` calls that used to dominate push/pop cost.
 * The engine tracks the number of *live* (non-cancelled) queued events,
   so :meth:`Simulator.idle` is O(1) instead of an O(n) heap scan.
 * Cancelled events normally stay in the heap until they surface at the
@@ -42,7 +46,9 @@ class Event:
     """A scheduled callback.
 
     Events are comparable by ``(time, seq)`` which gives deterministic
-    FIFO ordering among events scheduled for the same cycle.
+    FIFO ordering among events scheduled for the same cycle.  The heap
+    itself stores ``(time, seq, event)`` tuples so sift comparisons
+    resolve on the leading ints without calling back into Python.
     """
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
@@ -83,7 +89,9 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List[Event] = []
+        # entries are (time, seq, Event); seq uniqueness means tuple
+        # comparison never reaches the Event element
+        self._heap: List[Tuple[int, int, Event]] = []
         self._seq: int = 0
         self._running = False
         self.events_processed: int = 0
@@ -99,20 +107,23 @@ class Simulator:
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any,
+                 _validate: bool = _VALIDATE) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` cycles from now.
 
         ``delay`` must be non-negative; a zero delay runs later in the
         current cycle (after already-queued same-cycle events).
         """
-        if _VALIDATE:
+        if _validate:
             if delay < 0:
                 raise ValueError(f"negative delay {delay}")
             delay = int(delay)
-        ev = Event(self.now + delay, self._seq, fn, args, self)
-        self._seq += 1
+        time = self.now + delay
+        seq = self._seq
+        ev = Event(time, seq, fn, args, self)
+        self._seq = seq + 1
         self._live += 1
-        heapq.heappush(self._heap, ev)
+        heapq.heappush(self._heap, (time, seq, ev))
         return ev
 
     def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
@@ -138,7 +149,7 @@ class Simulator:
         Mutates the existing list (slice assignment) so aliases held by
         a running :meth:`run` loop stay valid.
         """
-        self._heap[:] = [e for e in self._heap if not e.cancelled]
+        self._heap[:] = [item for item in self._heap if not item[2].cancelled]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
 
@@ -164,8 +175,24 @@ class Simulator:
             pop = heapq.heappop
             budget = max_events
             post = self.post_event
+            if until is None and budget is None:
+                # Unbounded drain (the common full-run case): pop
+                # directly — no peek, no limit checks per event.
+                while heap:
+                    ev = pop(heap)[2]
+                    if ev.cancelled:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    self._live -= 1
+                    ev.sim = None
+                    self.now = ev.time
+                    self.events_processed += 1
+                    ev.fn(*ev.args)
+                    if post is not None:
+                        post()
+                return self.now
             while heap:
-                ev = heap[0]
+                ev = heap[0][2]
                 if ev.cancelled:
                     pop(heap)
                     self._cancelled_in_heap -= 1
@@ -193,22 +220,16 @@ class Simulator:
         return self.now
 
     def step(self) -> bool:
-        """Execute the next pending event.  Returns False when idle."""
-        heap = self._heap
-        while heap:
-            ev = heapq.heappop(heap)
-            if ev.cancelled:
-                self._cancelled_in_heap -= 1
-                continue
-            self._live -= 1
-            ev.sim = None
-            self.now = ev.time
-            self.events_processed += 1
-            ev.fn(*ev.args)
-            if self.post_event is not None:
-                self.post_event()
-            return True
-        return False
+        """Execute the next pending event.  Returns False when idle.
+
+        Delegates to :meth:`run` with a one-event budget so it shares
+        the re-entrancy guard and the skip-cancelled logic — a callback
+        calling ``step()`` from inside the loop fails loudly instead of
+        silently corrupting the clock.
+        """
+        before = self.events_processed
+        self.run(max_events=1)
+        return self.events_processed != before
 
     @property
     def pending(self) -> int:

@@ -18,7 +18,7 @@ Everything is plain counters/histograms so post-processing stays in
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
 
@@ -64,9 +64,15 @@ class Histogram:
         return f"Histogram(n={self.total}, mean={self.mean():.2f})"
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeStats:
-    """Per-node transaction accounting."""
+    """Per-node transaction accounting.
+
+    ``slots=True``: nodes bump these counters from the hot path, and a
+    run carries one instance per node — no per-instance ``__dict__``
+    needed.  Non-frozen, so pickling back from sweep workers works on
+    every supported interpreter.
+    """
 
     node: int
     tx_started: int = 0  # dynamic instances begun (first begin only)
@@ -93,6 +99,8 @@ class Stats:
         self.tracer = None
 
         # --- messages / network -------------------------------------
+        # keyed by MessageType *name* (str) so pickled Stats from sweep
+        # workers stay cheap and JSON-serializable
         self.messages_by_type: Counter = Counter()
         self.flit_router_traversals: int = 0  # Fig. 11 metric
         self.flits_injected: int = 0
@@ -215,9 +223,12 @@ class Stats:
             if name == "tracer":
                 continue
             if name == "nodes":
+                # NodeStats is a slots dataclass (no __dict__): walk
+                # its declared fields instead of vars().
                 out[name] = [
-                    {k: (dict(v) if isinstance(v, Counter) else v)
-                     for k, v in vars(n).items()}
+                    {f.name: (dict(v) if isinstance(v := getattr(n, f.name),
+                                                    Counter) else v)
+                     for f in fields(n)}
                     for n in value
                 ]
             elif isinstance(value, Counter):

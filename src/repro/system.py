@@ -36,13 +36,6 @@ from repro.sim.rng import RngFactory
 from repro.sim.stats import Stats
 from repro.workloads.base import Workload
 
-# messages handled by the directory side of an endpoint
-_DIR_TYPES = frozenset({
-    MessageType.GETS, MessageType.GETX, MessageType.PUT,
-    MessageType.UNBLOCK, MessageType.WB_DATA,
-})
-
-
 class CoherenceViolation(AssertionError):
     """Raised by audits when an invariant is broken."""
 
@@ -152,11 +145,15 @@ class System:
     @staticmethod
     def _make_endpoint(directory: DirectoryController,
                        node: NodeController):
-        def endpoint(msg: Message) -> None:
-            if msg.mtype in _DIR_TYPES:
-                directory.receive(msg)
-            else:
-                node.receive(msg)
+        # The directory's and node's dispatch tables are disjoint and
+        # together cover every MessageType, so the endpoint is a single
+        # merged {type: bound handler} lookup — no membership test, no
+        # intermediate receive() hop.
+        table = {**directory.handlers, **node.handlers}
+        assert set(table) == set(MessageType), "endpoint dispatch incomplete"
+
+        def endpoint(msg: Message, _table=table) -> None:
+            _table[msg.mtype](msg)
         return endpoint
 
     # ------------------------------------------------------------------

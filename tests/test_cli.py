@@ -92,6 +92,32 @@ def test_characterize_command(capsys):
     assert "sharing_degree" in out and "rmw_fraction" in out
 
 
+def test_profile_text_report(capsys):
+    rc = main(["profile", "ssca2", "--scale", "0.15", "--scheme", "puno",
+               "--top", "5"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "top functions (cumulative):" in out
+    assert "event callbacks (invoked by Simulator.run):" in out
+    assert "messages by type:" in out
+    assert "GETS" in out
+
+
+def test_profile_json_report(tmp_path, capsys):
+    report_file = tmp_path / "prof.json"
+    rc = main(["profile", "ssca2", "--scale", "0.15", "--json",
+               "--out", str(report_file)])
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["events"] > 0
+    assert data["events_per_sec"] > 0
+    assert data["top_cumulative"] and data["event_callbacks"]
+    # callback events are attributed from the run-loop caller graph
+    total_cb_events = sum(r["events"] for r in data["event_callbacks"])
+    assert 0 < total_cb_events <= data["events"] * 2
+    assert json.loads(report_file.read_text()) == data
+
+
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["bogus"])

@@ -109,6 +109,92 @@ def test_not_reentrant(sim):
     sim.run()
 
 
+def test_step_not_reentrant(sim):
+    """step() shares run()'s re-entrancy guard: calling it from inside
+    a callback fails loudly instead of corrupting the clock."""
+    hits = []
+
+    def recurse():
+        hits.append("outer")
+        with pytest.raises(RuntimeError):
+            sim.step()
+
+    sim.schedule(1, recurse)
+    sim.schedule(2, hits.append, "after")
+    sim.run()
+    assert hits == ["outer", "after"]
+    assert sim.now == 2
+    # the guard is released afterwards: step() works again
+    sim.schedule(1, hits.append, "post")
+    assert sim.step() is True
+    assert hits == ["outer", "after", "post"]
+
+
+def test_mass_cancel_inside_callback_keeps_heap_alias(sim):
+    """The run loop holds a direct alias to the heap list; a purge
+    triggered by >_PURGE_FLOOR cancels from *inside* a callback must
+    compact that same list object (slice assignment), or the loop
+    would keep draining a stale snapshot.  Exercises the compaction
+    racing the run loop and asserts both the alias identity and that
+    the surviving schedule still executes in deterministic order."""
+    from repro.sim.engine import _PURGE_FLOOR
+
+    hits = []
+    heap_ids = []
+    # enough victims that cancelled entries exceed both the absolute
+    # floor and half the heap, forcing _purge mid-run
+    victims = [sim.schedule(100 + i, hits.append, f"dead{i}")
+               for i in range(2 * _PURGE_FLOOR)]
+    survivors_before = len(sim._heap)
+    heap_id = id(sim._heap)
+
+    def massacre():
+        heap_ids.append(id(sim._heap))
+        for ev in victims:
+            ev.cancel()
+        # a purge fired mid-burst (cancelled entries crossed the floor
+        # and half the heap): the heap is now smaller than the victim
+        # count even though every victim was cancelled, and the object
+        # is still the same list the run loop iterates
+        assert len(sim._heap) < len(victims)
+        assert sim._cancelled_in_heap < len(victims)
+        heap_ids.append(id(sim._heap))
+
+    sim.schedule(10, massacre)
+    sim.schedule(20, hits.append, "a")
+    sim.schedule(500, hits.append, "b")
+    assert sim.pending == survivors_before + 3
+    sim.run()
+    assert heap_ids == [heap_id, heap_id]
+    assert id(sim._heap) == heap_id
+    assert hits == ["a", "b"]
+    assert sim.now == 500
+    assert sim.events_processed == 3  # massacre, "a", "b"
+
+
+def test_cancel_own_future_events_interleaved(sim):
+    """Repeated cancel bursts from callbacks (timeout-style churn)
+    keep ordering deterministic across multiple purges."""
+    hits = []
+    pool = []
+
+    def burst(tag):
+        hits.append(tag)
+        for ev in pool:
+            ev.cancel()
+        pool.clear()
+        pool.extend(sim.schedule(sim.now + 50 + i, hits.append, f"x{tag}{i}")
+                    for i in range(80))
+
+    for t in (10, 20, 30):
+        sim.schedule(t, burst, t)
+    sim.schedule(25, hits.append, "mid")
+    sim.run(until=40)
+    assert hits == [10, 20, "mid", 30]
+    # the last burst's events are still pending and live
+    assert sim.live_events == 80
+
+
 def test_idle_ignores_cancelled(sim):
     ev = sim.schedule(5, lambda: None)
     assert not sim.idle()

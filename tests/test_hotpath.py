@@ -1,0 +1,257 @@
+"""Hot-path regression tests: flyweight factories, dispatch tables,
+precomputed mesh tables, sanitizer-selected send path, and the
+bit-identical-behaviour guarantee the whole optimisation PR rests on."""
+
+import json
+
+import pytest
+
+from repro.network.message import (
+    Message,
+    MessageType,
+    make_ack,
+    make_nack,
+    make_put_ack,
+    make_unblock,
+)
+from repro.network.network import Network
+from repro.network.topology import Mesh
+from repro.sim.config import NetworkConfig, SystemConfig
+from repro.sim.engine import Simulator
+from repro.sim.stats import Stats
+from repro.system import System
+from repro.workloads.stamp import make_stamp_workload
+
+
+def _fields(msg):
+    """Every slot except the per-instance uid."""
+    return {name: getattr(msg, name) for name in Message.__slots__
+            if name != "uid"}
+
+
+# ---------------------------------------------------------------------
+# flyweight factories
+# ---------------------------------------------------------------------
+
+def test_make_ack_matches_keyword_construction():
+    fast = make_ack(0x40, 3, 7, 11, acks_expected=2, aborted=True)
+    slow = Message(MessageType.ACK, 0x40, 3, 7, requester=7, req_id=11,
+                   acks_expected=2, aborted=True)
+    assert _fields(fast) == _fields(slow)
+
+
+def test_make_nack_matches_keyword_construction():
+    fast = make_nack(0x80, 5, 2, 9, terminal=True, acks_expected=3,
+                     u_bit=True, t_est=120, mp_bit=True)
+    slow = Message(MessageType.NACK, 0x80, 5, 2, requester=2, req_id=9,
+                   terminal=True, acks_expected=3, u_bit=True, t_est=120,
+                   mp_bit=True)
+    assert _fields(fast) == _fields(slow)
+
+
+def test_make_put_ack_matches_keyword_construction():
+    fast = make_put_ack(0xC0, 1, 6, 4)
+    slow = Message(MessageType.PUT_ACK, 0xC0, 1, 6, requester=6, req_id=4)
+    assert _fields(fast) == _fields(slow)
+
+
+def test_make_unblock_matches_keyword_construction():
+    fast = make_unblock(0x100, 4, 0, 13, success=False, survivors=(2, 5),
+                        mp_bit=True, mp_node=5)
+    slow = Message(MessageType.UNBLOCK, 0x100, 4, 0, requester=4, req_id=13,
+                   success=False, survivors=(2, 5), mp_bit=True, mp_node=5)
+    assert _fields(fast) == _fields(slow)
+
+
+def test_factory_defaults_match_keyword_defaults():
+    pairs = [
+        (make_ack(0x40, 3, 7, 11),
+         Message(MessageType.ACK, 0x40, 3, 7, requester=7, req_id=11)),
+        (make_nack(0x40, 3, 7, 11),
+         Message(MessageType.NACK, 0x40, 3, 7, requester=7, req_id=11)),
+        (make_unblock(0x40, 3, 7, 11),
+         Message(MessageType.UNBLOCK, 0x40, 3, 7, requester=3, req_id=11)),
+    ]
+    for fast, slow in pairs:
+        assert _fields(fast) == _fields(slow)
+
+
+def test_message_has_no_instance_dict():
+    msg = make_put_ack(0x40, 0, 1, 2)
+    with pytest.raises(AttributeError):
+        msg.bogus = 1
+
+
+def test_message_uids_stay_unique():
+    uids = {make_put_ack(0x40, 0, 1, i).uid for i in range(100)}
+    uids |= {Message(MessageType.GETS, 0x40, 0, 1).uid for _ in range(100)}
+    assert len(uids) == 200
+
+
+def test_message_type_uses_identity_hash():
+    # Enum members are singletons; the identity hash is exact and
+    # C-level — the property every per-message dict lookup relies on.
+    assert MessageType.__hash__ is object.__hash__
+    assert hash(MessageType.ACK) == object.__hash__(MessageType.ACK)
+    assert {MessageType.ACK: 1}[MessageType.ACK] == 1
+
+
+# ---------------------------------------------------------------------
+# dispatch tables
+# ---------------------------------------------------------------------
+
+def _tiny_system(scheme="baseline"):
+    wl = make_stamp_workload("intruder", num_nodes=16, scale=0.05, seed=0)
+    cfg = SystemConfig(seed=0)
+    if scheme == "puno":
+        cfg = cfg.with_puno()
+    return System(cfg, wl, scheme)
+
+
+def test_dispatch_tables_cover_every_message_type():
+    system = _tiny_system()
+    node = system.nodes[0]
+    directory = system.directories[0]
+    assert not set(node.handlers) & set(directory.handlers)  # disjoint
+    assert set(node.handlers) | set(directory.handlers) == set(MessageType)
+    for table in (node.handlers, directory.handlers):
+        for handler in table.values():
+            assert callable(handler)
+
+
+def test_unknown_handler_still_raises():
+    """The .get()-then-raise pattern keeps the old ValueError contract
+    for types a controller does not own."""
+    system = _tiny_system()
+    # GETS belongs to the directory, not the node
+    msg = Message(MessageType.GETS, 0x40, 1, 0, requester=1, req_id=1)
+    with pytest.raises(ValueError):
+        system.nodes[0].receive(msg)
+    # UNBLOCK belongs to the directory; ACK belongs to the node
+    ack = make_ack(0x40, 1, 0, 1)
+    with pytest.raises(ValueError):
+        system.directories[0].receive(ack)
+
+
+# ---------------------------------------------------------------------
+# precomputed mesh tables
+# ---------------------------------------------------------------------
+
+def test_mesh_tables_match_analytic_formulas():
+    cfg = NetworkConfig()
+    mesh = Mesh(cfg)
+    n = cfg.num_nodes
+    for src in range(n):
+        for dst in range(n):
+            sx, sy = cfg.coords(src)
+            dx, dy = cfg.coords(dst)
+            hops = abs(sx - dx) + abs(sy - dy)
+            assert mesh.hops(src, dst) == hops
+            assert mesh.latency(src, dst) == cfg.latency(src, dst)
+            assert (mesh.router_traversals(src, dst, 5)
+                    == (hops + 1) * 5)
+            route = mesh.route(src, dst)
+            assert isinstance(route, list)
+            assert route[0] == src and route[-1] == dst
+            assert len(route) == hops + 1
+
+
+def test_mesh_route_returns_fresh_list():
+    mesh = Mesh(NetworkConfig())
+    r1 = mesh.route(0, 5)
+    r1.append(999)  # mutating the caller's copy must not poison the table
+    assert mesh.route(0, 5)[-1] == 5
+
+
+# ---------------------------------------------------------------------
+# sanitizer-selected send implementation
+# ---------------------------------------------------------------------
+
+class _RecordingSan:
+    def __init__(self):
+        self.checked = []
+
+    def check_message(self, msg):
+        self.checked.append(msg)
+
+
+def _tiny_net():
+    sim = Simulator()
+    cfg = NetworkConfig()
+    net = Network(sim, Mesh(cfg), Stats(cfg.num_nodes))
+    for node in range(cfg.num_nodes):
+        net.register(node, lambda m: None)
+    return sim, net
+
+
+def test_send_impl_switches_with_sanitizer():
+    _, net = _tiny_net()
+    assert net.san is None
+    assert net.send.__func__ is Network._send_fast
+    san = _RecordingSan()
+    net.san = san
+    assert net.send.__func__ is Network._send_full
+    net.send(Message(MessageType.GETS, 0x40, 0, 1, requester=0, req_id=1))
+    assert len(san.checked) == 1
+    net.san = None
+    assert net.send.__func__ is Network._send_fast
+    net.send(Message(MessageType.GETS, 0x80, 0, 1, requester=0, req_id=2))
+    assert len(san.checked) == 1  # detached: no further checks
+
+
+def test_send_counts_str_keys_and_flits():
+    sim, net = _tiny_net()
+    cfg = net.mesh.config
+    net.send(Message(MessageType.DATA, 0x40, 0, 5))
+    net.send(Message(MessageType.NACK, 0x40, 5, 0))
+    stats = net.stats
+    assert stats.messages_by_type == {"DATA": 1, "NACK": 1}
+    assert stats.flits_injected == cfg.data_flits + cfg.control_flits
+    expected = (net.mesh.router_traversals(0, 5, cfg.data_flits)
+                + net.mesh.router_traversals(5, 0, cfg.control_flits))
+    assert stats.flit_router_traversals == expected
+    sim.run()
+
+
+def test_unknown_destination_still_keyerror():
+    _, net = _tiny_net()
+    with pytest.raises(KeyError):
+        net.send(Message(MessageType.GETS, 0x40, 0, 99))
+
+
+def test_router_flits_materializes_lazily():
+    sim, net = _tiny_net()
+    cfg = net.mesh.config
+    net.send(Message(MessageType.GETS, 0x40, 0, 3))
+    sim.run()
+    rf = net.router_flits
+    # every router on the 0 -> 3 DOR route saw the control flits
+    for router in net.mesh.route(0, 3):
+        assert rf[router] == cfg.control_flits
+    assert sum(rf) == cfg.control_flits * (net.mesh.hops(0, 3) + 1)
+
+
+# ---------------------------------------------------------------------
+# the guarantee everything above serves: bit-identical behaviour
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("scheme", ["baseline", "puno"])
+def test_run_twice_snapshot_identical(scheme):
+    snaps = []
+    for _ in range(2):
+        wl = make_stamp_workload("intruder", num_nodes=16, scale=0.1, seed=0)
+        cfg = SystemConfig(seed=0)
+        if scheme == "puno":
+            cfg = cfg.with_puno()
+        result = System(cfg, wl, scheme).run()
+        snaps.append(json.dumps(result.stats.snapshot(), sort_keys=True,
+                                default=str))
+    assert snaps[0] == snaps[1]
+
+
+def test_snapshot_keys_are_json_serializable():
+    wl = make_stamp_workload("intruder", num_nodes=16, scale=0.05, seed=0)
+    result = System(SystemConfig(seed=0), wl, "baseline").run()
+    snap = result.stats.snapshot()
+    json.dumps(snap)  # raises if any Counter kept enum keys
+    assert all(isinstance(k, str) for k in snap["messages_by_type"])

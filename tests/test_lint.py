@@ -39,6 +39,10 @@ FIXTURES = {
     "sim-print": "print('debug')\n",
     "sim-env": "import os\ndef f():\n    return os.environ.get('X')\n",
     "bare-except": "try:\n    f()\nexcept:\n    pass\n",
+    "dataclass-slots": ("from dataclasses import dataclass\n"
+                        "@dataclass\n"
+                        "class C:\n"
+                        "    x: int\n"),
 }
 
 
@@ -123,6 +127,53 @@ def test_lambda_flagged_pickle_safe():
     assert "pickle-safe" in _rules_hit("f = lambda x: x\n")
 
 
+def test_dataclass_slots_true_is_clean():
+    src = ("from dataclasses import dataclass\n"
+           "@dataclass(slots=True)\n"
+           "class C:\n"
+           "    x: int\n")
+    assert _violations(src) == []
+
+
+def test_dataclass_explicit_dunder_slots_is_clean():
+    src = ("from dataclasses import dataclass\n"
+           "@dataclass\n"
+           "class C:\n"
+           "    __slots__ = ('x',)\n"
+           "    x: int\n")
+    assert _violations(src) == []
+
+
+def test_dataclass_slots_attribute_spelling_flagged():
+    src = ("import dataclasses\n"
+           "@dataclasses.dataclass(frozen=True)\n"
+           "class C:\n"
+           "    x: int\n")
+    assert "dataclass-slots" in _rules_hit(src)
+
+
+def test_plain_class_not_flagged():
+    assert _violations("class C:\n    x = 1\n") == []
+
+
+def test_dataclass_slots_violation_at_class_line():
+    src = ("from dataclasses import dataclass\n"
+           "\n"
+           "@dataclass\n"
+           "class C:\n"
+           "    x: int\n")
+    vs = [v for v in _violations(src) if v.rule == "dataclass-slots"]
+    assert len(vs) == 1 and vs[0].line == 4  # the `class C:` line
+
+
+def test_dataclass_slots_disable_comment():
+    src = ("from dataclasses import dataclass\n"
+           "@dataclass(frozen=True)\n"
+           "class C:  # lint: disable=dataclass-slots -- pickled\n"
+           "    x: int\n")
+    assert _violations(src) == []
+
+
 # ---------------------------------------------------------------------
 # scopes
 # ---------------------------------------------------------------------
@@ -140,6 +191,14 @@ def test_sim_path_scope_resolution():
     assert "sim-rng" not in active_rules("sim/rng.py")  # the factory
     # fixtures outside the package get everything
     assert active_rules(None) == {r.id for r in RULES}
+
+
+def test_hot_path_scope_resolution():
+    for relpath in ("network/message.py", "sim/engine.py",
+                    "coherence/cache.py"):
+        assert "dataclass-slots" in active_rules(relpath)
+    for relpath in ("htm/node.py", "analysis/report.py", "workloads/stamp.py"):
+        assert "dataclass-slots" not in active_rules(relpath)
 
 
 # ---------------------------------------------------------------------

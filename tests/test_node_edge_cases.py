@@ -38,9 +38,7 @@ def test_read_after_write_hits_locally():
     s = result.stats
     assert s.tx_committed == 1
     # one GETX total; the read hits the M line
-    assert s.dir_requests.get(
-        __import__("repro.network.message",
-                   fromlist=["MessageType"]).MessageType.GETS, 0) == 0
+    assert s.dir_requests.get("GETS", 0) == 0
 
 
 def test_back_to_back_instances_reuse_cache():
