@@ -28,7 +28,14 @@ from repro.sim.config import (
     SystemConfig,
     small_config,
 )
+from repro.faults import FaultConfig, FaultInjector, chaos_profile
 from repro.sim.stats import Stats
+from repro.sim.watchdog import (
+    StallError,
+    StallReport,
+    Watchdog,
+    WatchdogConfig,
+)
 from repro.system import (
     CoherenceViolation,
     RunResult,
@@ -57,6 +64,13 @@ __all__ = [
     "RunResult",
     "CoherenceViolation",
     "run_workload",
+    "FaultConfig",
+    "FaultInjector",
+    "chaos_profile",
+    "StallError",
+    "StallReport",
+    "Watchdog",
+    "WatchdogConfig",
     "Workload",
     "make_stamp_workload",
     "make_synthetic_workload",

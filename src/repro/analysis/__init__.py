@@ -22,20 +22,30 @@ from repro.analysis.falseabort import (
     victim_distribution,
 )
 from repro.analysis.parallel import (
+    SweepCheckpoint,
+    SweepExecutionError,
     SweepTask,
     TaskResult,
     WorkloadSpec,
     run_tasks,
+    run_tasks_resilient,
 )
+from repro.analysis.chaos import ChaosOutcome, ChaosReport, run_chaos
 from repro.analysis.report import render_table, render_series
 from repro.analysis.sweep import SchemeSweep, SweepResult
 from repro.analysis import experiments
 
 __all__ = [
+    "SweepCheckpoint",
+    "SweepExecutionError",
     "SweepTask",
     "TaskResult",
     "WorkloadSpec",
     "run_tasks",
+    "run_tasks_resilient",
+    "ChaosOutcome",
+    "ChaosReport",
+    "run_chaos",
     "normalized",
     "geomean",
     "high_contention_average",

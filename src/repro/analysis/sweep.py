@@ -19,7 +19,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.analysis.metrics import METRICS, MetricTable
-from repro.analysis.parallel import WorkloadSpec, grid_tasks, run_tasks
+from repro.analysis.parallel import SweepCheckpoint, WorkloadSpec, \
+    grid_tasks, resolve_checkpoint, run_tasks_resilient
 from repro.sim.config import SystemConfig
 from repro.sim.resultcache import CacheLike, cached_run_workload, \
     resolve_cache
@@ -106,31 +107,44 @@ class SchemeSweep:
     factories don't pickle).  ``cache`` accepts the usual forms
     (True = process default, False/None = off, path or ResultCache =
     explicit); serial and parallel paths share the same cache keys.
+
+    Execution is resilient (Issue 4): crashed workers are replaced and
+    retried up to ``retries`` times, a pool making no progress for
+    ``task_timeout`` seconds is recycled, and ``checkpoint`` (a
+    :class:`SweepCheckpoint`, a path, ``False`` = off, or ``None`` =
+    defer to ``REPRO_SWEEP_CHECKPOINT``) persists completed cells so
+    an interrupted sweep resumes instead of restarting.
     """
 
     def __init__(self, schemes: Optional[Dict[str, Scheme]] = None,
                  max_cycles: Optional[int] = 200_000_000,
                  audit: bool = True, jobs: int = 1,
-                 cache: CacheLike = True):
+                 cache: CacheLike = True, retries: int = 2,
+                 task_timeout: Optional[float] = None,
+                 checkpoint=None):
         self.schemes = schemes if schemes is not None else paper_schemes()
         self.max_cycles = max_cycles
         self.audit = audit
         self.jobs = jobs
         self.cache = cache
+        self.retries = retries
+        self.task_timeout = task_timeout
+        self.checkpoint = checkpoint
 
     # ------------------------------------------------------------------
     def run(self, workloads: Dict[str, WorkloadSource],
             verbose: bool = False) -> SweepResult:
         all_specs = all(isinstance(w, WorkloadSpec)
                         for w in workloads.values())
-        if self.jobs is None or self.jobs != 1:
+        cp = resolve_checkpoint(self.checkpoint)
+        if self.jobs is None or self.jobs != 1 or cp is not None:
             if not all_specs:
                 raise TypeError(
                     "SchemeSweep(jobs!=1) needs picklable WorkloadSpec "
                     "values, not live workload factories; pass "
                     "repro.analysis.parallel.WorkloadSpec entries or "
                     "use jobs=1")
-            return self._run_parallel(workloads, verbose)
+            return self._run_parallel(workloads, verbose, cp)
         return self._run_serial(workloads, verbose)
 
     # ------------------------------------------------------------------
@@ -142,13 +156,18 @@ class SchemeSweep:
         return True, str(resolved.root)
 
     def _run_parallel(self, workloads: Dict[str, WorkloadSource],
-                      verbose: bool) -> SweepResult:
+                      verbose: bool,
+                      checkpoint: Optional[SweepCheckpoint] = None
+                      ) -> SweepResult:
         use_cache, cache_dir = self._cache_args()
         tasks = grid_tasks(self.schemes, workloads,
                            max_cycles=self.max_cycles, audit=self.audit,
                            use_cache=use_cache, cache_dir=cache_dir)
         result = SweepResult()
-        for tr in run_tasks(tasks, self.jobs):
+        for tr in run_tasks_resilient(
+                tasks, self.jobs, retries=self.retries,
+                task_timeout=self.task_timeout,
+                checkpoint=checkpoint if checkpoint is not None else False):
             result.add(tr.workload, tr.scheme, tr.stats)
             if verbose:
                 hit = " [cached]" if tr.cache_hit else ""

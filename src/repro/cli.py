@@ -11,9 +11,15 @@ Commands:
 * ``lint`` — run the simulator-specific static analysis suite.
 * ``profile`` — run one cell under cProfile with per-event-callback
   and per-message-type accounting.
+* ``chaos`` — run workloads under injected coherence faults with the
+  engine watchdog armed; exit 0 iff every cell commits or stalls in a
+  fault-explained way.
 
 ``run``/``compare``/``experiment`` accept ``--sanitize`` to enable the
 dynamic protocol sanitizer (equivalent to ``REPRO_SANITIZE=1``).
+``compare``/``experiment`` accept ``--resume`` to checkpoint completed
+sweep cells on disk (``REPRO_SWEEP_CHECKPOINT``) so an interrupted
+grid picks up where it left off.
 """
 
 from __future__ import annotations
@@ -94,6 +100,35 @@ def _apply_sanitize_flag(args) -> None:
         os.environ["REPRO_SANITIZE"] = "1"
 
 
+def _apply_resume_flag(args) -> None:
+    """``--resume`` turns on sweep checkpointing for the process (the
+    same ``REPRO_SWEEP_CHECKPOINT`` env var the sweeps consult), so
+    completed cells persist and a rerun only computes missing ones."""
+    import os
+    if getattr(args, "resume", False):
+        os.environ["REPRO_SWEEP_CHECKPOINT"] = args.checkpoint_dir
+
+
+def _make_faults(args):
+    """Build a FaultConfig from ``--faults`` / chaos rate flags, or
+    None when every rate is zero (so plain runs stay untouched)."""
+    from repro.faults import FaultConfig, chaos_profile, parse_fault_spec
+    if getattr(args, "faults", None):
+        cfg = parse_fault_spec(args.faults)
+    else:
+        cfg = chaos_profile(
+            drop=getattr(args, "drop", 0.0),
+            duplicate=getattr(args, "dup", 0.0),
+            delay=getattr(args, "delay", 0.0),
+            reorder=getattr(args, "reorder", 0.0),
+            seed=getattr(args, "fault_seed", 0),
+            delay_max=getattr(args, "delay_max", 64),
+            stall_interval=getattr(args, "stall_interval", 0),
+            stall_duration=getattr(args, "stall_duration", 0))
+    cfg.validate()
+    return cfg if cfg.active() else None
+
+
 def _make_config(args, scheme: str) -> SystemConfig:
     cfg = SystemConfig(seed=args.seed) if args.nodes == 16 else None
     if cfg is None:
@@ -148,9 +183,21 @@ def cmd_run(args) -> int:
     if args.trace:
         from repro.sim.trace import Tracer
         tracer = Tracer()
-    from repro.system import System
-    system = System(cfg, wl, args.scheme, trace=tracer)
-    result = system.run(max_cycles=args.max_cycles)
+    faults = _make_faults(args) if getattr(args, "faults", None) else None
+    from repro.analysis.chaos import audits_safe
+    from repro.system import StallError, System
+    system = System(cfg, wl, args.scheme, trace=tracer,
+                    faults=faults, watchdog=faults is not None)
+    try:
+        result = system.run(max_cycles=args.max_cycles,
+                            audit=audits_safe(faults))
+    except StallError as exc:
+        print(exc.report.describe(), file=sys.stderr)
+        return 1
+    finally:
+        if faults is not None:
+            inj = system.fault_injector
+            print(f"faults injected: {inj.summary()}", file=sys.stderr)
     if args.trace:
         n = tracer.write_jsonl(args.trace)
         print(f"wrote {n} trace events to {args.trace}", file=sys.stderr)
@@ -185,6 +232,7 @@ def cmd_compare(args) -> int:
         return 2
     _apply_cache_flag(args)
     _apply_sanitize_flag(args)
+    _apply_resume_flag(args)
     from repro.analysis.sweep import SchemeSweep
     sweep = SchemeSweep(
         {s: (s, _make_config(args, s)) for s in schemes},
@@ -214,9 +262,35 @@ def cmd_experiment(args) -> int:
         return 2
     _apply_cache_flag(args)
     _apply_sanitize_flag(args)
+    _apply_resume_flag(args)
     result = fn(args)
     print(result.text)
     return 0
+
+
+def cmd_chaos(args) -> int:
+    _apply_sanitize_flag(args)
+    from repro.analysis.chaos import TOUR, run_chaos
+    faults = _make_faults(args)
+    if faults is None:
+        print("no faults configured: pass at least one of --drop/--dup/"
+              "--delay/--reorder/--stall-interval", file=sys.stderr)
+        return 2
+    workloads = (args.workloads.split(",") if args.workloads
+                 else list(TOUR))
+    unknown = set(workloads) - set(STAMP_WORKLOADS)
+    if unknown:
+        print(f"unknown workload(s): {sorted(unknown)}", file=sys.stderr)
+        return 2
+    report = run_chaos(faults, workloads=workloads, scheme=args.scheme,
+                       nodes=args.nodes, scale=args.scale,
+                       seed=args.seed, max_cycles=args.max_cycles,
+                       verbose=not args.json)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
 
 
 def cmd_lint(args) -> int:
@@ -302,6 +376,10 @@ def build_parser() -> argparse.ArgumentParser:
     common(run_p)
     sanitize_opt(run_p)
     run_p.add_argument("--scheme", choices=SCHEMES, default="baseline")
+    run_p.add_argument("--faults", metavar="SPEC",
+                       help="inject coherence faults, e.g. "
+                            "'drop=0.01,dup=0.005,delay=0.05,seed=7' "
+                            "(arms the engine watchdog)")
     run_p.add_argument("--json", action="store_true",
                        help="print the summary as JSON")
     run_p.add_argument("--trace", metavar="FILE",
@@ -321,6 +399,13 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result cache "
                              "(same as REPRO_NO_CACHE=1)")
+        sp.add_argument("--resume", action="store_true",
+                        help="checkpoint completed sweep cells so an "
+                             "interrupted grid resumes (same as "
+                             "REPRO_SWEEP_CHECKPOINT=<dir>)")
+        sp.add_argument("--checkpoint-dir",
+                        default=".repro-sweep-checkpoint",
+                        help="where --resume stores completed cells")
 
     cmp_p = sub.add_parser("compare", help="compare schemes")
     common(cmp_p)
@@ -365,6 +450,38 @@ def build_parser() -> argparse.ArgumentParser:
     area_p.add_argument("--pbuffer", type=int, default=16)
     area_p.add_argument("--txlb", type=int, default=32)
 
+    chaos_p = sub.add_parser(
+        "chaos", help="run workloads under injected coherence faults "
+                      "(exit 0 iff every cell commits or stalls in a "
+                      "fault-explained way)")
+    chaos_p.add_argument("--workloads", default=None,
+                         help="comma-separated STAMP subset "
+                              "(default: the full tour)")
+    chaos_p.add_argument("--scheme", choices=SCHEMES, default="puno")
+    chaos_p.add_argument("--nodes", type=int, default=16)
+    chaos_p.add_argument("--scale", type=float, default=0.2)
+    chaos_p.add_argument("--seed", type=int, default=0)
+    chaos_p.add_argument("--max-cycles", type=int, default=500_000_000)
+    chaos_p.add_argument("--drop", type=float, default=0.0,
+                         help="message drop rate")
+    chaos_p.add_argument("--dup", type=float, default=0.0,
+                         help="response duplication rate")
+    chaos_p.add_argument("--delay", type=float, default=0.0,
+                         help="message delay rate")
+    chaos_p.add_argument("--reorder", type=float, default=0.0,
+                         help="response reorder rate")
+    chaos_p.add_argument("--delay-max", type=int, default=64,
+                         help="max injected delay in cycles")
+    chaos_p.add_argument("--fault-seed", type=int, default=0,
+                         help="seed for the fault decision stream")
+    chaos_p.add_argument("--stall-interval", type=int, default=0,
+                         help="cycles between injected node stalls")
+    chaos_p.add_argument("--stall-duration", type=int, default=0,
+                         help="length of each injected node stall")
+    sanitize_opt(chaos_p)
+    chaos_p.add_argument("--json", action="store_true",
+                         help="print the report as JSON")
+
     return p
 
 
@@ -380,6 +497,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "area": cmd_area,
         "lint": cmd_lint,
         "profile": cmd_profile,
+        "chaos": cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -57,7 +57,8 @@ class ServiceRecord:
     """In-flight request bookkeeping while the entry is blocked."""
 
     __slots__ = ("msg", "kind", "block_start", "is_txgetx", "owner_path",
-                 "unicast", "requester_was_sharer", "targets")
+                 "unicast", "requester_was_sharer", "targets",
+                 "wb_received", "deferred_unblock")
 
     def __init__(self, msg: Message, kind: str, block_start: int,
                  is_txgetx: bool = False, owner_path: bool = False,
@@ -71,6 +72,12 @@ class ServiceRecord:
         self.unicast = unicast
         self.requester_was_sharer = requester_was_sharer
         self.targets = targets
+        # Owner-path GETS only: has the owner's WB_DATA landed, and an
+        # UNBLOCK held back because it hasn't (delay injection only —
+        # fault-free the WB_DATA always wins the race; see
+        # _handle_wb_data).
+        self.wb_received = False
+        self.deferred_unblock: Optional[Message] = None
 
 
 class DirectoryController:
@@ -360,6 +367,22 @@ class DirectoryController:
         entry = self.entries[msg.addr]
         rec = entry.service
         assert rec is not None and entry.blocked, f"spurious UNBLOCK {msg}"
+        if (rec.kind == "gets" and rec.owner_path and msg.success
+                and not rec.wb_received):
+            # The owner's WB_DATA is still in flight.  Only reachable
+            # under injected delay: the WB_DATA takes the direct
+            # owner -> home leg while this UNBLOCK travelled
+            # owner -> requester -> home, so by the triangle inequality
+            # it cannot lose the race on a clean mesh.  Hold the
+            # unblock until the downgrade value lands — reopening the
+            # entry with the stale home copy would lose the owner's
+            # last write.
+            rec.deferred_unblock = msg
+            return
+        self._finish_unblock(msg, entry, rec)
+
+    def _finish_unblock(self, msg: Message, entry: DirEntry,
+                        rec: ServiceRecord) -> None:
         if rec.kind == "getx":
             if msg.success:
                 entry.sharers.clear()
@@ -412,10 +435,25 @@ class DirectoryController:
         self._unblock(entry)
 
     def _handle_wb_data(self, msg: Message) -> None:
-        # Owner-supplied data on an M -> S downgrade.  Always freshest.
+        # Owner-supplied data on an M -> S downgrade.  On the mesh this
+        # always lands while the entry is still blocked on the request
+        # that triggered it (the requester's UNBLOCK takes the longer
+        # two-leg path, so by the triangle inequality it cannot arrive
+        # first); a mismatch is only reachable under injected delay and
+        # means the line has moved on — applying the payload would
+        # overwrite a fresher value with a stale one.
         entry = self.entry(msg.addr)
+        rec = entry.service
+        if (rec is None or rec.msg.req_id != msg.req_id
+                or rec.msg.src != msg.requester):
+            return
         entry.value = msg.value
         entry.in_l2 = True
+        rec.wb_received = True
+        if rec.deferred_unblock is not None:
+            # The requester's UNBLOCK beat us here (injected delay);
+            # the downgrade value is now home, so complete it.
+            self._finish_unblock(rec.deferred_unblock, entry, rec)
 
     # ------------------------------------------------------------------
     # blocking machinery

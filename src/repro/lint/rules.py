@@ -17,7 +17,10 @@ Scopes
   boundaries (``analysis/parallel.py``, ``sim/resultcache.py``);
 * ``hot-path`` — modules whose objects are allocated or touched per
   message/event (everything under ``network/``, ``sim/`` and
-  ``coherence/``).
+  ``coherence/``);
+* ``orchestration`` — code that supervises long runs (``analysis/``
+  and ``sim/``): a silently swallowed exception there turns a crashed
+  sweep cell or a corrupted cache entry into quietly wrong results.
 
 Files that are *not* part of the ``repro`` package (e.g. test
 fixtures) are linted under the strictest scope: every rule applies.
@@ -67,6 +70,9 @@ RULES: Tuple[Rule, ...] = (
     Rule("dataclass-slots", "hot-path",
          "hot-path dataclasses must declare slots (slots=True or "
          "__slots__); per-instance dicts cost allocation and lookups"),
+    Rule("swallowed-error", "orchestration",
+         "broad except handler (Exception/BaseException/bare) whose "
+         "body only passes: log, count, or re-raise instead"),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {r.id: r for r in RULES}
@@ -81,6 +87,8 @@ SIM_PATH_FILES = ("sim/engine.py",)
 PICKLE_BOUNDARY_FILES = ("analysis/parallel.py", "sim/resultcache.py")
 
 HOT_PATH_PREFIXES = ("network/", "sim/", "coherence/")
+
+ORCHESTRATION_PREFIXES = ("analysis/", "sim/")
 
 # Attributes that are known to be set-typed in this codebase; iterating
 # them directly is flagged by set-iteration.
@@ -126,6 +134,7 @@ def active_rules(relpath: Optional[str]) -> Set[str]:
                 or relpath in SIM_PATH_FILES)
     pickle_boundary = relpath in PICKLE_BOUNDARY_FILES
     hot_path = relpath.startswith(HOT_PATH_PREFIXES)
+    orchestration = relpath.startswith(ORCHESTRATION_PREFIXES)
     out: Set[str] = set()
     for r in RULES:
         if r.scope == "all":
@@ -135,6 +144,8 @@ def active_rules(relpath: Optional[str]) -> Set[str]:
         elif r.scope == "pickle-boundary" and pickle_boundary:
             out.add(r.id)
         elif r.scope == "hot-path" and hot_path:
+            out.add(r.id)
+        elif r.scope == "orchestration" and orchestration:
             out.add(r.id)
     if relpath in RNG_EXEMPT:
         out.discard("sim-rng")
@@ -458,9 +469,42 @@ class FileChecker(ast.NodeVisitor):
     # ------------------------------------------------------------------
     # bare except
     # ------------------------------------------------------------------
+    @staticmethod
+    def _is_broad_handler(node: ast.ExceptHandler) -> bool:
+        """Bare except, or one naming Exception/BaseException (alone
+        or inside a tuple of types)."""
+        if node.type is None:
+            return True
+        types = (node.type.elts if isinstance(node.type, ast.Tuple)
+                 else [node.type])
+        for t in types:
+            name = _dotted(t).rsplit(".", 1)[-1]
+            if name in ("Exception", "BaseException"):
+                return True
+        return False
+
+    @staticmethod
+    def _body_swallows(node: ast.ExceptHandler) -> bool:
+        """True when the handler body does nothing observable: only
+        ``pass``, ``...`` or docstring-style constant expressions."""
+        for stmt in node.body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)):
+                continue
+            return False
+        return True
+
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
         if node.type is None:
             self._emit(node, "bare-except",
                        "bare except: swallows SystemExit/KeyboardInterrupt; "
                        "name the exception type")
+        if self._is_broad_handler(node) and self._body_swallows(node):
+            self._emit(node, "swallowed-error",
+                       "broad exception handler silently discards the "
+                       "error; in orchestration code a swallowed failure "
+                       "becomes a quietly wrong sweep — log it, count it, "
+                       "or narrow the type")
         self.generic_visit(node)

@@ -19,17 +19,29 @@ from repro.sim.config import (
 from repro.sim.stats import Stats, Histogram
 from repro.sim.rng import RngFactory
 from repro.sim.resultcache import (
+    CacheCorruption,
     ResultCache,
     cache_key,
     cached_run_workload,
     default_cache,
 )
+from repro.sim.watchdog import (
+    StallError,
+    StallReport,
+    Watchdog,
+    WatchdogConfig,
+)
 
 __all__ = [
+    "CacheCorruption",
     "ResultCache",
     "cache_key",
     "cached_run_workload",
     "default_cache",
+    "StallError",
+    "StallReport",
+    "Watchdog",
+    "WatchdogConfig",
     "Simulator",
     "Event",
     "CacheConfig",

@@ -14,6 +14,12 @@ Layout: ``<root>/<key[:2]>/<key>.pkl`` with atomic writes (tempfile +
 ``os.replace``), so concurrent sweep workers can share one cache
 directory safely.
 
+Entries are checksummed on disk (``RPRC1`` magic + sha256 of the
+pickle payload): a truncated or bit-rotted entry is detected on read,
+*quarantined* to ``<name>.pkl.corrupt`` for post-mortem inspection,
+and treated as a plain miss — a multi-hour sweep recomputes the cell
+instead of dying mid-grid on an unpickling error.
+
 Escape hatches:
 
 * ``REPRO_NO_CACHE=1`` (env) disables the default cache globally,
@@ -43,6 +49,14 @@ DEFAULT_DIRNAME = ".repro-cache"
 # Anything in CacheLike except an explicit ResultCache means "resolve
 # it": True -> process default, None/False -> disabled, path -> there.
 CacheLike = Union[None, bool, str, Path, "ResultCache"]
+
+# On-disk entry format: magic + hex sha256 of payload + newline + payload.
+_MAGIC = b"RPRC1\n"
+_DIGEST_LEN = 64  # hex sha256
+
+
+class CacheCorruption(Exception):
+    """A cache/checkpoint entry failed its integrity check."""
 
 
 def cache_enabled() -> bool:
@@ -75,6 +89,11 @@ def _source_digest() -> str:
             h.update(path.read_bytes())
         _source_digest_memo = h.hexdigest()
     return _source_digest_memo
+
+
+def source_digest() -> str:
+    """Public alias of the memoized package-source digest."""
+    return _source_digest()
 
 
 def config_fingerprint(config: SystemConfig) -> str:
@@ -126,6 +145,71 @@ def cache_key(config: SystemConfig, workload: Workload, cm: str) -> str:
 
 
 # ---------------------------------------------------------------------
+# checksummed pickle I/O (shared with the sweep checkpoint store)
+# ---------------------------------------------------------------------
+
+def write_checked_pickle(path: Path, obj: object) -> None:
+    """Atomically write ``obj`` as a checksummed pickle entry."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(_MAGIC)
+            f.write(digest)
+            f.write(b"\n")
+            f.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_checked_pickle(path: Path) -> object:
+    """Read a checksummed entry; raises :class:`CacheCorruption` on any
+    integrity failure (bad magic, truncation, checksum mismatch) and
+    lets ``FileNotFoundError`` propagate for plain misses."""
+    data = path.read_bytes()
+    header_len = len(_MAGIC) + _DIGEST_LEN + 1
+    if not data.startswith(_MAGIC) or len(data) < header_len:
+        raise CacheCorruption(f"{path}: missing or malformed header")
+    digest = data[len(_MAGIC):len(_MAGIC) + _DIGEST_LEN]
+    if data[header_len - 1:header_len] != b"\n":
+        raise CacheCorruption(f"{path}: malformed header terminator")
+    payload = data[header_len:]
+    actual = hashlib.sha256(payload).hexdigest().encode("ascii")
+    if actual != digest:
+        raise CacheCorruption(f"{path}: checksum mismatch "
+                              f"(truncated or bit-rotted entry)")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        # checksum-valid but unpicklable: written by incompatible code
+        raise CacheCorruption(f"{path}: {exc!r}") from exc
+
+
+def quarantine(path: Path) -> Optional[Path]:
+    """Move a corrupt entry aside as ``<name>.corrupt`` (for
+    post-mortem inspection) so it can never satisfy another read;
+    returns the quarantine path, or None if the move failed (the entry
+    is unlinked instead)."""
+    target = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, target)
+        return target
+    except OSError:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+# ---------------------------------------------------------------------
 # the cache proper
 # ---------------------------------------------------------------------
 
@@ -139,51 +223,41 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
     def get(self, key: str) -> Optional[Stats]:
-        """The cached Stats for ``key``, or None (corrupt files are
-        treated as misses and removed)."""
+        """The cached Stats for ``key``, or None.  Truncated/corrupt
+        entries are quarantined to ``*.corrupt`` and count as misses —
+        never an exception mid-sweep."""
         path = self._path(key)
         try:
-            with path.open("rb") as f:
-                stats = pickle.load(f)
+            stats = read_checked_pickle(path)
         except FileNotFoundError:
             self.misses += 1
             return None
-        except Exception:
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except CacheCorruption:
+            quarantine(path)
+            self.quarantined += 1
             self.misses += 1
             return None
         if not isinstance(stats, Stats):
+            # integrity-valid but not ours (foreign writer?): move aside
+            quarantine(path)
+            self.quarantined += 1
             self.misses += 1
             return None
         self.hits += 1
         return stats
 
     def put(self, key: str, stats: Stats) -> None:
-        """Atomically store ``stats`` under ``key``."""
+        """Atomically store ``stats`` under ``key`` (checksummed)."""
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         tracer, stats.tracer = stats.tracer, None  # never pickle tracers
         try:
-            fd, tmp = tempfile.mkstemp(dir=str(path.parent),
-                                       suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as f:
-                    pickle.dump(stats, f, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            write_checked_pickle(path, stats)
         finally:
             stats.tracer = tracer
         self.stores += 1
@@ -207,7 +281,8 @@ class ResultCache:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ResultCache({str(self.root)!r}, hits={self.hits}, "
-                f"misses={self.misses}, stores={self.stores})")
+                f"misses={self.misses}, stores={self.stores}, "
+                f"quarantined={self.quarantined})")
 
 
 def default_cache() -> Optional[ResultCache]:

@@ -158,6 +158,17 @@ class Stats:
         # trip back from parallel sweep workers.
         self.sanitizer_checks: int = 0
 
+        # --- robustness ----------------------------------------------
+        # Requests that exhausted HTMConfig.max_retries (the livelock
+        # escape hatch) and self-aborted; always 0 in a healthy run.
+        self.retry_cap_exhausted: int = 0
+        # Stale/duplicate MSHR responses dropped under fault injection
+        # (nodes only tolerate these when an injector is attached).
+        self.stale_responses_dropped: int = 0
+        # Owner-supplied values fabricated because a dropped message
+        # left a registered owner without the data (fault runs only).
+        self.fault_fabricated_values: int = 0
+
     # ------------------------------------------------------------------
     # aggregate helpers
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ from repro.sim.config import SystemConfig
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngFactory
 from repro.sim.stats import Stats
+from repro.sim.watchdog import StallError, Watchdog, WatchdogConfig
 from repro.workloads.base import Workload
 
 class CoherenceViolation(AssertionError):
@@ -63,7 +64,9 @@ class System:
     def __init__(self, config: SystemConfig, workload: Workload,
                  cm: Union[str, ContentionManager] = "baseline",
                  trace=None, sampler=None, node_cls=None,
-                 sanitize: Optional[bool] = None):
+                 sanitize: Optional[bool] = None,
+                 faults=None,
+                 watchdog: Union[None, bool, WatchdogConfig] = None):
         if workload.num_nodes != config.num_nodes:
             raise ValueError(
                 f"workload has {workload.num_nodes} programs for "
@@ -121,6 +124,23 @@ class System:
             self.sanitizer = ProtocolSanitizer(self)
             self.sanitizer.attach()
 
+        # Fault injection wraps whichever send implementation the
+        # sanitizer selected, so it must attach after the sanitizer.
+        self.fault_injector = None
+        if faults is not None:
+            from repro.faults import FaultInjector
+            self.fault_injector = FaultInjector(faults, config.num_nodes)
+            self.fault_injector.attach(self)
+
+        # Engine watchdog: True selects the default thresholds, a
+        # WatchdogConfig tunes them.  Its tick event mutates no protocol
+        # state, so attaching it never changes run statistics.
+        self.watchdog: Optional[Watchdog] = None
+        if watchdog:
+            wcfg = watchdog if isinstance(watchdog, WatchdogConfig) else None
+            self.watchdog = Watchdog(wcfg)
+            self.watchdog.attach(self)
+
     # ------------------------------------------------------------------
     def _make_cm(self, cm: Union[str, ContentionManager]) -> ContentionManager:
         if isinstance(cm, ContentionManager):
@@ -166,6 +186,10 @@ class System:
                     puno.stop()
             if self.sampler is not None:
                 self.sampler.stop()
+            if self.watchdog is not None:
+                self.watchdog.stop()
+            if self.fault_injector is not None:
+                self.fault_injector.stop()
 
     def run(self, max_cycles: Optional[int] = None,
             audit: bool = True) -> RunResult:
@@ -187,10 +211,17 @@ class System:
             if self.sim.pending == 0:
                 break
             if max_cycles is not None and self.sim.now > max_cycles:
+                if self.watchdog is not None:
+                    raise StallError(self.watchdog.make_report(
+                        "max-cycles",
+                        f"exceeded the max_cycles budget of {max_cycles}"))
                 raise RuntimeError(
                     f"watchdog: {self.sim.now} cycles without completion "
                     f"({self._done_count}/{self.config.num_nodes} nodes done)")
         if self._finished_at is None:
+            if self.watchdog is not None:
+                raise StallError(self.watchdog.make_report(
+                    "deadlock", "event heap drained before nodes finished"))
             raise RuntimeError("event heap drained before nodes finished")
         self.stats.execution_cycles = self._finished_at
         wall = time.perf_counter() - t0
@@ -280,7 +311,9 @@ class System:
 def run_workload(config: SystemConfig, workload: Workload,
                  cm: Union[str, ContentionManager] = "baseline",
                  max_cycles: Optional[int] = None,
-                 audit: bool = True) -> RunResult:
+                 audit: bool = True, faults=None,
+                 watchdog: Union[None, bool, WatchdogConfig] = None
+                 ) -> RunResult:
     """One-call convenience wrapper used by examples and benchmarks."""
-    return System(config, workload, cm).run(max_cycles=max_cycles,
-                                            audit=audit)
+    return System(config, workload, cm, faults=faults,
+                  watchdog=watchdog).run(max_cycles=max_cycles, audit=audit)

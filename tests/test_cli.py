@@ -126,3 +126,82 @@ def test_parser_rejects_unknown_command():
 def test_parser_rejects_unknown_workload():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "not-a-workload"])
+
+
+# ---------------------------------------------------------------------
+# fault injection and chaos tours
+# ---------------------------------------------------------------------
+
+def test_run_with_faults_spec(capsys):
+    rc = main(["run", "intruder", "--nodes", "4", "--scale", "0.1",
+               "--faults", "dup=0.02,delay=0.05,seed=3"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "intruder" in captured.out
+    assert "faults injected" in captured.err
+
+
+def test_chaos_smoke_passes(capsys):
+    rc = main(["chaos", "--workloads", "intruder", "--nodes", "4",
+               "--scale", "0.05", "--dup", "0.02", "--delay", "0.05"])
+    assert rc == 0
+    assert "chaos verdict: PASS" in capsys.readouterr().out
+
+
+def test_chaos_json_payload(capsys):
+    rc = main(["chaos", "--workloads", "intruder", "--nodes", "4",
+               "--scale", "0.05", "--dup", "0.02", "--delay", "0.05",
+               "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["outcomes"]
+
+
+def test_chaos_without_faults_is_usage_error(capsys):
+    assert main(["chaos"]) == 2
+    assert "no faults configured" in capsys.readouterr().err
+
+
+def test_chaos_unknown_workload_is_usage_error(capsys):
+    rc = main(["chaos", "--workloads", "not-a-workload", "--drop", "0.1"])
+    assert rc == 2
+
+
+# ---------------------------------------------------------------------
+# --resume plumbing
+# ---------------------------------------------------------------------
+
+def _guard_checkpoint_env(monkeypatch):
+    """Register the process-wide flags with monkeypatch *before* the
+    code under test sets them via os.environ directly, so teardown
+    removes whatever _apply_resume_flag/_apply_cache_flag leave
+    behind."""
+    for name in ("REPRO_SWEEP_CHECKPOINT", "REPRO_NO_CACHE"):
+        monkeypatch.setenv(name, "guard")
+        monkeypatch.delenv(name)
+
+
+def test_resume_flag_sets_checkpoint_env(tmp_path, monkeypatch):
+    import os
+    from argparse import Namespace
+
+    from repro.cli import _apply_resume_flag
+
+    _guard_checkpoint_env(monkeypatch)
+    _apply_resume_flag(Namespace(resume=False))
+    assert "REPRO_SWEEP_CHECKPOINT" not in os.environ
+
+    cp_dir = tmp_path / "cp"
+    _apply_resume_flag(Namespace(resume=True, checkpoint_dir=str(cp_dir)))
+    assert os.environ["REPRO_SWEEP_CHECKPOINT"] == str(cp_dir)
+
+
+def test_compare_resume_populates_checkpoint(tmp_path, monkeypatch, capsys):
+    _guard_checkpoint_env(monkeypatch)
+    monkeypatch.chdir(tmp_path)
+    rc = main(["compare", "kmeans", "--nodes", "4", "--scale", "0.1",
+               "--schemes", "baseline,puno", "--no-cache", "--resume"])
+    assert rc == 0
+    cp_dir = tmp_path / ".repro-sweep-checkpoint"
+    assert len(list(cp_dir.glob("*.pkl"))) == 2  # one per scheme

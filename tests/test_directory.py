@@ -87,8 +87,10 @@ def test_gets_owner_path_forwards(dirsetup):
     assert fwd.dst == 1 and fwd.requester == 2 and fwd.terminal
     entry = d.entries[0]
     assert entry.blocked
-    # owner downgrades: WB_DATA then requester UNBLOCKs
-    d.receive(Message(MessageType.WB_DATA, 0, 1, 0, value=11))
+    # owner downgrades: WB_DATA (carrying the forwarded request's
+    # identifiers, as the owner node does) then requester UNBLOCKs
+    d.receive(Message(MessageType.WB_DATA, 0, 1, 0, requester=2,
+                      req_id=7, value=11))
     d.receive(_unblock(0, src=2, req_id=7))
     assert entry.state is DirState.S
     assert entry.sharers == {1, 2}
@@ -118,7 +120,8 @@ def _make_shared(dirsetup, sharers):
         sim.run()
         if i == 0:
             # owner path: simulate downgrade
-            d.receive(Message(MessageType.WB_DATA, 0, first, 0, value=0))
+            d.receive(Message(MessageType.WB_DATA, 0, first, 0,
+                              requester=s, req_id=100 + i, value=0))
             d.receive(_unblock(0, src=s, req_id=100 + i))
         sim.run()
     net.clear()

@@ -39,6 +39,7 @@ FIXTURES = {
     "sim-print": "print('debug')\n",
     "sim-env": "import os\ndef f():\n    return os.environ.get('X')\n",
     "bare-except": "try:\n    f()\nexcept:\n    pass\n",
+    "swallowed-error": "try:\n    f()\nexcept Exception:\n    pass\n",
     "dataclass-slots": ("from dataclasses import dataclass\n"
                         "@dataclass\n"
                         "class C:\n"
@@ -172,6 +173,78 @@ def test_dataclass_slots_disable_comment():
            "class C:  # lint: disable=dataclass-slots -- pickled\n"
            "    x: int\n")
     assert _violations(src) == []
+
+
+# ---------------------------------------------------------------------
+# swallowed-error details
+# ---------------------------------------------------------------------
+
+def test_swallowed_error_counting_body_is_clean():
+    src = ("try:\n"
+           "    f()\n"
+           "except Exception:\n"
+           "    failures += 1\n")
+    assert "swallowed-error" not in _rules_hit(src)
+
+
+def test_swallowed_error_logging_body_is_clean():
+    src = ("try:\n"
+           "    f()\n"
+           "except Exception as exc:\n"
+           "    log.warning('cell failed: %r', exc)\n")
+    assert "swallowed-error" not in _rules_hit(src)
+
+
+def test_swallowed_error_reraise_is_clean():
+    src = ("try:\n"
+           "    f()\n"
+           "except Exception:\n"
+           "    raise\n")
+    assert "swallowed-error" not in _rules_hit(src)
+
+
+def test_narrow_handler_may_pass():
+    src = ("try:\n"
+           "    f()\n"
+           "except ValueError:\n"
+           "    pass\n")
+    assert "swallowed-error" not in _rules_hit(src)
+
+
+def test_broad_type_inside_tuple_flagged():
+    src = ("try:\n"
+           "    f()\n"
+           "except (ValueError, Exception):\n"
+           "    pass\n")
+    assert "swallowed-error" in _rules_hit(src)
+
+
+def test_base_exception_with_docstring_body_flagged():
+    src = ("try:\n"
+           "    f()\n"
+           "except BaseException:\n"
+           "    'tolerated'\n")
+    assert "swallowed-error" in _rules_hit(src)
+
+
+def test_bare_except_pass_hits_both_rules():
+    hits = _rules_hit(FIXTURES["bare-except"])
+    assert {"bare-except", "swallowed-error"} <= hits
+
+
+def test_swallowed_error_disable_comment():
+    src = ("try:\n"
+           "    f()\n"
+           "except Exception:  # lint: disable=swallowed-error -- probe\n"
+           "    pass\n")
+    assert "swallowed-error" not in _rules_hit(src)
+
+
+def test_swallowed_error_scope_is_orchestration():
+    assert "swallowed-error" in active_rules("analysis/parallel.py")
+    assert "swallowed-error" in active_rules("sim/resultcache.py")
+    assert "swallowed-error" not in active_rules("htm/node.py")
+    assert "swallowed-error" not in active_rules("network/network.py")
 
 
 # ---------------------------------------------------------------------

@@ -1,17 +1,28 @@
 """Parallel sweep execution: serial/parallel equivalence, determinism,
-task descriptors, and the strict (non-ragged) SweepResult grid."""
+task descriptors, the resilient executor (crash replacement, timeouts,
+checkpoint/resume), and the strict (non-ragged) SweepResult grid."""
 
 from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.analysis.parallel import (
+    ENV_CHECKPOINT,
+    SweepCheckpoint,
+    SweepExecutionError,
     SweepTask,
     WorkloadSpec,
     grid_tasks,
+    resolve_checkpoint,
     resolve_jobs,
     run_task,
     run_tasks,
+    run_tasks_resilient,
+    task_key,
 )
 from repro.analysis.sweep import SchemeSweep, SweepResult, paper_schemes
 from repro.sim.config import small_config
@@ -154,6 +165,181 @@ def test_grid_tasks_order_is_workload_major():
     assert labels[:4] == [("intruder", "baseline"), ("intruder", "backoff"),
                           ("intruder", "rmw"), ("intruder", "puno")]
     assert labels[4][0] == "kmeans"
+
+
+# ---------------------------------------------------------------------
+# resilient execution: crash replacement, timeouts, deterministic errors
+# ---------------------------------------------------------------------
+
+# Fault-simulating runners for the resilient executor.  They must be
+# module-level (they cross the pickle boundary into pool workers), and
+# every test that uses a crashing/hanging runner needs >= 2 tasks AND
+# jobs >= 2: with a single pending cell the executor runs in-process,
+# where os._exit would take pytest down with it.
+
+_CRASH_FLAG_ENV = "REPRO_TEST_CRASH_DIR"
+
+
+def _tasks2(max_cycles=20_000_000):
+    schemes = {"baseline": ("baseline", small_config(4)),
+               "backoff": ("backoff", small_config(4))}
+    return grid_tasks(schemes, _specs4(names=("intruder",)),
+                      max_cycles=max_cycles)
+
+
+def _crashy_run_task(task):
+    """Dies hard (os._exit) the first time each cell is attempted;
+    marker files in $REPRO_TEST_CRASH_DIR persist across workers."""
+    marker = (Path(os.environ[_CRASH_FLAG_ENV])
+              / f"{task.workload}-{task.scheme}.crashed")
+    if not marker.exists():
+        marker.write_bytes(b"x")
+        os._exit(137)
+    return run_task(task)
+
+
+def _sleepy_run_task(task):
+    time.sleep(60)
+    return run_task(task)  # pragma: no cover - the pool is torn down
+
+
+def _raise_run_task(task):
+    raise ValueError(f"deterministic failure on {task.scheme}")
+
+
+def test_resilient_matches_plain_runner():
+    tasks = _tasks2()
+    plain = run_tasks(tasks, jobs=2)
+    resilient = run_tasks_resilient(tasks, jobs=2, checkpoint=False)
+    assert [(r.workload, r.scheme) for r in resilient] \
+        == [(t.workload, t.scheme) for t in tasks]
+    for a, b in zip(plain, resilient):
+        assert a.stats.snapshot() == b.stats.snapshot()
+
+
+def test_killed_worker_is_retried_to_completion(tmp_path, monkeypatch):
+    monkeypatch.setenv(_CRASH_FLAG_ENV, str(tmp_path))
+    tasks = _tasks2()
+    results = run_tasks_resilient(tasks, jobs=2, retries=3,
+                                  checkpoint=False,
+                                  runner=_crashy_run_task)
+    assert all(r is not None for r in results)
+    assert all(r.stats.tx_committed > 0 for r in results)
+    # every cell really did crash once before completing
+    assert len(list(tmp_path.glob("*.crashed"))) == len(tasks)
+
+
+def test_stuck_pool_times_out_with_structured_error():
+    with pytest.raises(SweepExecutionError, match="no completion within"):
+        run_tasks_resilient(_tasks2(), jobs=2, retries=0,
+                            task_timeout=0.5, checkpoint=False,
+                            runner=_sleepy_run_task)
+
+
+def test_deterministic_worker_error_is_not_retried():
+    with pytest.raises(SweepExecutionError, match="not retried"):
+        run_tasks_resilient(_tasks2(), jobs=2, retries=5,
+                            checkpoint=False, runner=_raise_run_task)
+
+
+def test_crash_exhaustion_names_the_failed_cells(tmp_path, monkeypatch):
+    """retries=0 means a first-attempt crash is already exhaustion."""
+    monkeypatch.setenv(_CRASH_FLAG_ENV, str(tmp_path))
+    with pytest.raises(SweepExecutionError, match="after 1 attempt"):
+        run_tasks_resilient(_tasks2(), jobs=2, retries=0,
+                            checkpoint=False, runner=_crashy_run_task)
+
+
+# ---------------------------------------------------------------------
+# checkpoint / resume
+# ---------------------------------------------------------------------
+
+def test_checkpoint_stores_every_cell_and_resumes_for_free(tmp_path):
+    tasks = _tasks2()
+    cp = SweepCheckpoint(tmp_path)
+    first = run_tasks_resilient(tasks, jobs=1, checkpoint=cp)
+    assert cp.stores == len(tasks)
+    assert len(cp) == len(tasks)
+
+    # full resume: every cell replays from disk; the runner (which
+    # would raise) is never invoked
+    cp2 = SweepCheckpoint(tmp_path)
+    second = run_tasks_resilient(tasks, jobs=1, checkpoint=cp2,
+                                 runner=_raise_run_task)
+    assert cp2.hits == len(tasks) and cp2.stores == 0
+    for a, b in zip(first, second):
+        assert a.stats.snapshot() == b.stats.snapshot()
+
+
+def test_resume_recomputes_only_the_missing_cell(tmp_path):
+    tasks = _tasks2()
+    run_tasks_resilient(tasks, jobs=1, checkpoint=SweepCheckpoint(tmp_path))
+    victim = tmp_path / f"{task_key(tasks[0])}.pkl"
+    victim.unlink()
+
+    calls = []
+
+    def counting_runner(task):  # jobs=1 stays in-process: closures OK
+        calls.append((task.workload, task.scheme))
+        return run_task(task)
+
+    cp = SweepCheckpoint(tmp_path)
+    results = run_tasks_resilient(tasks, jobs=1, checkpoint=cp,
+                                  runner=counting_runner)
+    assert calls == [(tasks[0].workload, tasks[0].scheme)]
+    assert cp.hits == len(tasks) - 1 and cp.stores == 1
+    assert all(r is not None for r in results)
+
+
+def test_corrupt_checkpoint_cell_is_quarantined_and_recomputed(tmp_path):
+    tasks = _tasks2()
+    run_tasks_resilient(tasks, jobs=1, checkpoint=SweepCheckpoint(tmp_path))
+    victim = tmp_path / f"{task_key(tasks[1])}.pkl"
+    victim.write_bytes(b"bit rot")
+
+    cp = SweepCheckpoint(tmp_path)
+    results = run_tasks_resilient(tasks, jobs=1, checkpoint=cp)
+    assert cp.quarantined == 1
+    assert cp.hits == len(tasks) - 1 and cp.stores == 1
+    assert victim.with_name(victim.name + ".corrupt").is_file()
+    assert all(r is not None for r in results)
+
+
+def test_task_key_is_stable_and_sensitive():
+    a, b = _tasks2()
+    assert task_key(a) == task_key(a)
+    assert task_key(a) != task_key(b)  # scheme differs
+    shorter = _tasks2(max_cycles=10_000_000)[0]
+    assert task_key(a) != task_key(shorter)
+
+
+def test_resolve_checkpoint_forms(tmp_path, monkeypatch):
+    cp = SweepCheckpoint(tmp_path)
+    assert resolve_checkpoint(cp) is cp
+    assert resolve_checkpoint(False) is None
+    monkeypatch.delenv(ENV_CHECKPOINT, raising=False)
+    assert resolve_checkpoint(None) is None
+    monkeypatch.setenv(ENV_CHECKPOINT, str(tmp_path / "env"))
+    from_env = resolve_checkpoint(None)
+    assert isinstance(from_env, SweepCheckpoint)
+    assert from_env.root == tmp_path / "env"
+    from_path = resolve_checkpoint(tmp_path)
+    assert isinstance(from_path, SweepCheckpoint)
+    assert from_path.root == tmp_path
+
+
+def test_scheme_sweep_checkpoint_round_trip(tmp_path):
+    schemes = {"baseline": ("baseline", small_config(4))}
+    specs = _specs4(names=("intruder",))
+    cold = SchemeSweep(schemes, max_cycles=20_000_000, jobs=1,
+                       cache=False,
+                       checkpoint=SweepCheckpoint(tmp_path)).run(specs)
+    cp = SweepCheckpoint(tmp_path)
+    warm = SchemeSweep(schemes, max_cycles=20_000_000, jobs=1,
+                       cache=False, checkpoint=cp).run(specs)
+    assert cp.hits == 1 and cp.stores == 0
+    assert (cold.stats["intruder"]["baseline"].snapshot()
+            == warm.stats["intruder"]["baseline"].snapshot())
 
 
 # ---------------------------------------------------------------------

@@ -6,15 +6,20 @@ import pytest
 
 from repro.sim.config import small_config
 from repro.sim.resultcache import (
+    CacheCorruption,
     ResultCache,
     cache_enabled,
     cache_key,
     cached_run_workload,
     config_fingerprint,
     default_cache,
+    quarantine,
+    read_checked_pickle,
     resolve_cache,
     workload_fingerprint,
+    write_checked_pickle,
 )
+from repro.sim.stats import Stats
 from repro.workloads.synthetic import make_synthetic_workload
 
 
@@ -122,7 +127,94 @@ def test_corrupt_entry_is_a_miss(tmp_path, cfg):
     fresh = ResultCache(tmp_path)
     assert fresh.get(key) is None
     assert fresh.misses == 1
-    assert not path.exists()  # corrupt file removed
+    assert fresh.quarantined == 1
+    assert not path.exists()  # corrupt file moved aside, never re-read
+    assert path.with_name(path.name + ".corrupt").is_file()
+
+
+def test_truncated_entry_is_quarantined_not_raised(tmp_path, cfg):
+    """A checksummed entry cut short mid-payload (the crash-during-
+    write shape) is a quarantined miss, never an exception."""
+    cache = ResultCache(tmp_path)
+    wl = _tiny_workload()
+    key = cache_key(cfg, wl, "baseline")
+    cached_run_workload(cfg, wl, cm="baseline", max_cycles=5_000_000,
+                        cache=cache)
+    path = cache._path(key)
+    data = path.read_bytes()
+    path.write_bytes(data[:len(data) - 16])  # valid magic, short payload
+    fresh = ResultCache(tmp_path)
+    assert fresh.get(key) is None
+    assert fresh.quarantined == 1
+    assert path.with_name(path.name + ".corrupt").is_file()
+
+
+def test_checksum_valid_foreign_object_is_quarantined(tmp_path, cfg):
+    """An entry that passes the integrity check but doesn't hold a
+    Stats object (foreign writer) is moved aside like corruption."""
+    cache = ResultCache(tmp_path)
+    key = cache_key(cfg, _tiny_workload(), "baseline")
+    path = cache._path(key)
+    write_checked_pickle(path, {"not": "stats"})
+    assert cache.get(key) is None
+    assert cache.quarantined == 1
+    assert path.with_name(path.name + ".corrupt").is_file()
+
+
+# ---------------------------------------------------------------------
+# the checksummed on-disk format
+# ---------------------------------------------------------------------
+
+def test_checked_pickle_round_trip(tmp_path):
+    path = tmp_path / "entry.pkl"
+    obj = {"a": [1, 2, 3], "b": "payload"}
+    write_checked_pickle(path, obj)
+    assert path.read_bytes().startswith(b"RPRC1\n")
+    assert read_checked_pickle(path) == obj
+
+
+def test_checked_pickle_round_trips_stats(tmp_path):
+    path = tmp_path / "stats.pkl"
+    stats = Stats(4)
+    stats.nodes[1].tx_committed = 7
+    stats.execution_cycles = 1234
+    write_checked_pickle(path, stats)
+    clone = read_checked_pickle(path)
+    assert isinstance(clone, Stats)
+    assert clone.snapshot() == stats.snapshot()
+
+
+def test_checked_pickle_rejects_bad_magic(tmp_path):
+    path = tmp_path / "entry.pkl"
+    write_checked_pickle(path, [1, 2])
+    data = path.read_bytes()
+    path.write_bytes(b"XXXX" + data[4:])
+    with pytest.raises(CacheCorruption, match="header"):
+        read_checked_pickle(path)
+
+
+def test_checked_pickle_rejects_flipped_payload_byte(tmp_path):
+    path = tmp_path / "entry.pkl"
+    write_checked_pickle(path, [1, 2, 3])
+    data = bytearray(path.read_bytes())
+    data[-1] ^= 0xFF
+    path.write_bytes(bytes(data))
+    with pytest.raises(CacheCorruption, match="checksum"):
+        read_checked_pickle(path)
+
+
+def test_checked_pickle_missing_file_is_a_plain_miss(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        read_checked_pickle(tmp_path / "nope.pkl")
+
+
+def test_quarantine_moves_entry_aside(tmp_path):
+    path = tmp_path / "entry.pkl"
+    path.write_bytes(b"garbage")
+    target = quarantine(path)
+    assert target == tmp_path / "entry.pkl.corrupt"
+    assert not path.exists() and target.is_file()
+    assert target.read_bytes() == b"garbage"  # kept for post-mortem
 
 
 def test_clear_and_len(tmp_path, cfg):

@@ -1,0 +1,262 @@
+"""Engine watchdog: deadlock/livelock/no-progress classification,
+structured StallReport plumbing, and the retry-cap escape hatch."""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import replace
+from types import SimpleNamespace
+
+import pytest
+
+from repro.faults import FaultConfig
+from repro.htm.contention.fixed import FixedBackoff
+from repro.htm.node import NodeController
+from repro.network.message import MessageType, make_nack
+from repro.sim.config import small_config
+from repro.sim.engine import Simulator
+from repro.sim.stats import Stats
+from repro.sim.trace import Tracer
+from repro.sim.watchdog import (
+    StallError,
+    StallReport,
+    Watchdog,
+    WatchdogConfig,
+)
+from repro.system import System
+from repro.testing import RecordingNetwork
+from repro.workloads.base import TxInstance
+from repro.workloads.generator import write_ops
+from repro.workloads.synthetic import make_synthetic_workload
+
+
+class _FakeSystem:
+    """The minimal surface the watchdog reads: sim, stats, config,
+    nodes (for outstanding MSHRs), done count, optional injector."""
+
+    def __init__(self, sim, num_nodes=2):
+        self.sim = sim
+        self.stats = Stats(num_nodes)
+        self.config = SimpleNamespace(num_nodes=num_nodes)
+        self.nodes = [SimpleNamespace(node=i, mshr=None)
+                      for i in range(num_nodes)]
+        self._done_count = 0
+        self.fault_injector = None
+
+    def keep_alive(self, period=100, on_tick=None):
+        """A self-rescheduling event so the heap never quiesces."""
+        def tick():
+            if on_tick is not None:
+                on_tick()
+            self.sim.schedule(period, tick)
+        self.sim.schedule(period, tick)
+
+
+_WCFG = WatchdogConfig(check_interval=1_000, progress_window=10_000,
+                       livelock_nack_floor=5)
+
+
+def test_deadlock_on_quiesced_heap():
+    sim = Simulator()
+    fake = _FakeSystem(sim)
+    Watchdog(_WCFG).attach(fake)
+    with pytest.raises(StallError) as exc_info:
+        sim.run()
+    report = exc_info.value.report
+    assert report.kind == "deadlock"
+    assert report.live_events == 0
+    assert report.nodes_done == 0 and report.num_nodes == 2
+
+
+def test_no_progress_without_nack_traffic():
+    sim = Simulator()
+    fake = _FakeSystem(sim)
+    fake.keep_alive()
+    Watchdog(_WCFG).attach(fake)
+    with pytest.raises(StallError) as exc_info:
+        sim.run(until=100_000)
+    report = exc_info.value.report
+    assert report.kind == "no-progress"
+    assert report.window_nacks < _WCFG.livelock_nack_floor
+
+
+def test_livelock_when_nacks_circulate():
+    sim = Simulator()
+    fake = _FakeSystem(sim)
+
+    def churn():
+        fake.stats.nodes[0].nacks_received += 1
+    fake.keep_alive(on_tick=churn)
+    Watchdog(_WCFG).attach(fake)
+    with pytest.raises(StallError) as exc_info:
+        sim.run(until=100_000)
+    report = exc_info.value.report
+    assert report.kind == "livelock"
+    assert report.window_nacks >= _WCFG.livelock_nack_floor
+
+
+def test_progress_defers_detection():
+    sim = Simulator()
+    fake = _FakeSystem(sim)
+
+    def commit():
+        fake.stats.nodes[0].tx_committed += 1
+    fake.keep_alive(on_tick=commit)
+    wd = Watchdog(_WCFG)
+    wd.attach(fake)
+    sim.run(until=100_000)  # well past progress_window: no stall raised
+    assert wd.ticks > 5
+
+
+def test_finished_system_silences_the_watchdog():
+    sim = Simulator()
+    fake = _FakeSystem(sim)
+    fake._done_count = 2  # all nodes already done
+    fake.keep_alive()
+    wd = Watchdog(_WCFG)
+    wd.attach(fake)
+    sim.run(until=100_000)
+    assert wd.ticks == 1  # first tick sees completion, never reschedules
+
+
+def test_stop_cancels_pending_tick():
+    sim = Simulator()
+    fake = _FakeSystem(sim)
+    wd = Watchdog(_WCFG)
+    wd.attach(fake)
+    wd.stop()
+    sim.run()  # heap quiesces with nodes unfinished: no tick, no raise
+    assert wd.ticks == 0
+
+
+def test_double_attach_rejected():
+    sim = Simulator()
+    wd = Watchdog(_WCFG)
+    wd.attach(_FakeSystem(sim))
+    with pytest.raises(RuntimeError, match="already attached"):
+        wd.attach(_FakeSystem(sim))
+
+
+# ---------------------------------------------------------------------
+# report plumbing
+# ---------------------------------------------------------------------
+
+def test_stall_report_outstanding_and_faults():
+    sim = Simulator()
+    fake = _FakeSystem(sim)
+    fake.nodes[1].mshr = SimpleNamespace(addr=12, req_id=7)
+    fake.fault_injector = SimpleNamespace(
+        summary=lambda: {"dropped": 3, "duplicated": 0})
+    wd = Watchdog(_WCFG)
+    wd.attach(fake)
+    report = wd.make_report("max-cycles", "budget exhausted")
+    assert report.kind == "max-cycles"
+    assert report.outstanding == ((1, 12, 7),)
+    assert report.faults["dropped"] == 3
+    assert "outstanding requests" in report.describe()
+    assert "injected faults" in report.describe()
+    payload = report.to_dict()
+    assert payload["kind"] == "max-cycles"
+    assert payload["outstanding"] == [[1, 12, 7]]
+
+
+def test_stall_error_pickle_round_trip():
+    report = StallReport(kind="livelock", cycle=123, detail="d",
+                         nodes_done=1, num_nodes=4, commits=5, aborts=6,
+                         window_nacks=70, live_events=2,
+                         outstanding=((0, 8, 3),), faults={"dropped": 1})
+    clone = pickle.loads(pickle.dumps(StallError(report)))
+    assert isinstance(clone, StallError)
+    assert clone.report == report
+    assert str(clone) == report.describe()
+
+
+# ---------------------------------------------------------------------
+# integration with System.run
+# ---------------------------------------------------------------------
+
+def _wl4():
+    return make_synthetic_workload(num_nodes=4, instances=4,
+                                   shared_lines=8, tx_reads=4,
+                                   tx_writes=1, seed=3)
+
+
+def test_total_loss_is_a_structured_deadlock():
+    system = System(small_config(4), _wl4(), "baseline",
+                    faults=FaultConfig(drop=1.0, seed=0),
+                    watchdog=WatchdogConfig(check_interval=500,
+                                            progress_window=5_000,
+                                            livelock_nack_floor=5))
+    with pytest.raises(StallError) as exc_info:
+        system.run(max_cycles=1_000_000, audit=False)
+    report = exc_info.value.report
+    assert report.kind == "deadlock"
+    assert report.faults["dropped"] > 0
+    assert report.commits == 0
+
+
+def test_total_loss_without_watchdog_is_a_plain_runtimeerror():
+    system = System(small_config(4), _wl4(), "baseline",
+                    faults=FaultConfig(drop=1.0, seed=0))
+    with pytest.raises(RuntimeError) as exc_info:
+        system.run(max_cycles=1_000_000, audit=False)
+    assert not isinstance(exc_info.value, StallError)
+
+
+# ---------------------------------------------------------------------
+# the retry-cap escape hatch (Stats.retry_cap_exhausted)
+# ---------------------------------------------------------------------
+
+def _retry_cap_node(max_retries):
+    """One isolated node whose first transactional GETX we answer with
+    hand-built terminal NACKs (the RecordingNetwork pattern)."""
+    sim = Simulator()
+    base = small_config(4)
+    cfg = replace(base, htm=replace(base.htm, max_retries=max_retries))
+    stats = Stats(4)
+    tracer = Tracer(categories=("tx",))
+    stats.tracer = tracer
+    net = RecordingNetwork(sim, stats)
+    cm = FixedBackoff(cfg, stats)
+    # addr 6 homes on node 2, so requests leave node 1
+    program = [TxInstance(0, write_ops([6], 1, 0), 0)]
+    node = NodeController(sim, 1, cfg, net, stats, cm, program)
+    node.start()
+    sim.run(until=sim.now + 10)
+    return sim, node, net, stats, tracer
+
+
+def _nack_current_getx(sim, node, net):
+    getx = net.pop(MessageType.GETX)
+    node.receive(make_nack(getx.addr, getx.dst, getx.src, getx.req_id,
+                           terminal=True))
+    sim.run(until=sim.now + 200)  # cover backoff + the retried request
+
+
+def test_retry_cap_fires_only_past_the_boundary():
+    sim, node, net, stats, tracer = _retry_cap_node(max_retries=2)
+    # NACKs 1 and 2 reach but do not exceed the cap: plain retries
+    for _ in range(2):
+        _nack_current_getx(sim, node, net)
+        assert stats.retry_cap_exhausted == 0
+        assert stats.nodes[1].tx_aborted == 0
+    # NACK 3 exceeds the cap: counted, traced, self-aborted
+    _nack_current_getx(sim, node, net)
+    assert stats.retry_cap_exhausted == 1
+    assert stats.nodes[1].tx_aborted == 1
+    events = tracer.filter("tx", event="retry_cap")
+    assert len(events) == 1
+    ev = events[0].fields
+    assert ev["node"] == 1 and ev["addr"] == 6
+    assert ev["retries"] == 2 and ev["limit"] == 2
+    # the instance re-executes: a fresh GETX with the retry count reset
+    assert net.of_type(MessageType.GETX)
+
+
+def test_retry_cap_unreachable_at_default_threshold():
+    sim, node, net, stats, tracer = _retry_cap_node(max_retries=10_000)
+    for _ in range(8):
+        _nack_current_getx(sim, node, net)
+    assert stats.retry_cap_exhausted == 0
+    assert stats.nodes[1].tx_aborted == 0
+    assert not tracer.filter("tx", event="retry_cap")
