@@ -71,9 +71,12 @@ class WorkloadSpec:
     """A picklable recipe for rebuilding one workload in a worker.
 
     ``kind`` selects the factory: ``"stamp"`` (the eight paper
-    analogues, parameterized by ``scale``/``seed``) or ``"synthetic"``
-    (the contention microbenchmark; extra keyword arguments travel in
-    ``params`` as a tuple of items so the spec stays hashable).
+    analogues, parameterized by ``scale``/``seed``), ``"synthetic"``
+    (the contention microbenchmark), or any registered scenario family
+    name from :data:`repro.workloads.families.FAMILIES` (``hotspot``,
+    ``prodcons``, ``zipf``, ``rw_mix``).  Extra keyword arguments
+    travel in ``params`` as a tuple of items so the spec stays
+    hashable.
     """
 
     name: str
@@ -94,6 +97,14 @@ class WorkloadSpec:
             kwargs.setdefault("name", self.name)
             return make_synthetic_workload(num_nodes=self.num_nodes,
                                            seed=self.seed, **kwargs)
+        from repro.workloads.families import FAMILIES, make_family_workload
+        if self.kind in FAMILIES:
+            kwargs = dict(self.params)
+            kwargs.setdefault("name", self.name)
+            return make_family_workload(self.kind,
+                                        num_nodes=self.num_nodes,
+                                        scale=self.scale, seed=self.seed,
+                                        **kwargs)
         raise ValueError(f"unknown workload kind {self.kind!r}")
 
 
@@ -115,6 +126,10 @@ class SweepTask:
     audit: bool = True
     use_cache: bool = True
     cache_dir: Optional[str] = None
+    # Optional parse_fault_spec string (scenario fault profiles).  A
+    # fault cell always simulates — the result cache key does not cover
+    # fault configurations — and runs with the engine watchdog armed.
+    faults: str = ""
 
 
 @dataclass
@@ -139,6 +154,8 @@ def run_task(task: SweepTask) -> TaskResult:
     """Execute one cell (worker entry point; must stay module-level
     so it pickles under every multiprocessing start method)."""
     workload = task.spec.build()
+    if task.faults:
+        return _run_fault_task(task, workload)
     cache: object = False
     if task.use_cache and cache_enabled():
         cache = ResultCache(task.cache_dir)
@@ -149,6 +166,25 @@ def run_task(task: SweepTask) -> TaskResult:
     wall = time.perf_counter() - t0
     return TaskResult(task.workload, task.scheme, result.stats, wall,
                       bool(result.extras.get("cache_hit")))
+
+
+def _run_fault_task(task: SweepTask, workload: Workload) -> TaskResult:
+    """One cell under an injected fault profile: never cached, engine
+    watchdog armed, audits only when the mix preserves their
+    assumptions (no drop/reorder)."""
+    from repro.analysis.chaos import audits_safe
+    from repro.faults import parse_fault_spec
+    from repro.system import run_workload
+    faults = parse_fault_spec(task.faults)
+    faults.validate()
+    t0 = time.perf_counter()
+    result = run_workload(task.config, workload, cm=task.cm,
+                          max_cycles=task.max_cycles,
+                          audit=task.audit and audits_safe(faults),
+                          faults=faults, watchdog=True)
+    wall = time.perf_counter() - t0
+    return TaskResult(task.workload, task.scheme, result.stats, wall,
+                      False)
 
 
 def _pool_context():
@@ -196,7 +232,7 @@ def task_key(task: SweepTask) -> str:
     h.update(task.cm.encode())
     h.update(config_fingerprint(task.config).encode())
     h.update(repr(task.spec).encode())
-    h.update(repr((task.max_cycles, task.audit)).encode())
+    h.update(repr((task.max_cycles, task.audit, task.faults)).encode())
     return h.hexdigest()
 
 

@@ -14,6 +14,13 @@ Commands:
 * ``chaos`` — run workloads under injected coherence faults with the
   engine watchdog armed; exit 0 iff every cell commits or stalls in a
   fault-explained way.
+* ``scenario`` — list / validate / run declarative experiment
+  scenarios (``repro scenario run <name>`` executes the full
+  workload x scheme x seed matrix through the resilient sweep
+  machinery; ``--smoke`` runs the scaled-down variant).
+* ``golden`` — run the golden-run regression tour and compare its
+  canonical snapshot digests against ``tests/golden/golden.json``
+  (``--update`` re-pins after an intentional behaviour change).
 
 ``run``/``compare``/``experiment`` accept ``--sanitize`` to enable the
 dynamic protocol sanitizer (equivalent to ``REPRO_SANITIZE=1``).
@@ -293,6 +300,95 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_scenario(args) -> int:
+    from repro.scenarios import get_scenario, list_scenarios
+    if args.action == "list":
+        specs = list_scenarios(tag=args.tag)
+        rows = [{
+            "name": s.name,
+            "nodes": s.nodes,
+            "workloads": ",".join(w.label for w in s.workloads),
+            "schemes": ",".join(s.schemes),
+            "seeds": len(s.seeds),
+            "cells": s.num_cells,
+            "tags": ",".join(s.tags),
+        } for s in specs]
+        print(render_table(rows, title="Registered scenarios"))
+        return 0
+    if args.action == "validate":
+        names = args.names or [s.name for s in list_scenarios()]
+        bad = 0
+        for name in names:
+            try:
+                spec = get_scenario(name)
+            except KeyError as exc:
+                print(f"{name}: {exc}", file=sys.stderr)
+                bad += 1
+                continue
+            problems = spec.validate()
+            if problems:
+                bad += 1
+                print(f"{name}: INVALID")
+                for p in problems:
+                    print(f"  - {p}")
+            else:
+                print(f"{name}: ok ({spec.describe()})")
+        return 1 if bad else 0
+    # action == "run"
+    if not args.names:
+        print("scenario run needs at least one scenario name",
+              file=sys.stderr)
+        return 2
+    _apply_cache_flag(args)
+    _apply_sanitize_flag(args)
+    _apply_resume_flag(args)
+    from repro.scenarios import run_scenario
+    rc = 0
+    for name in args.names:
+        try:
+            spec = get_scenario(name)
+        except KeyError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        result = run_scenario(
+            spec, smoke=args.smoke, jobs=args.jobs,
+            max_cycles=args.max_cycles, verbose=not args.json)
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=1))
+        else:
+            print(result.render_text())
+            print(f"({result.cache_hits}/{len(result.results)} cells "
+                  f"from cache)")
+        if args.out:
+            manifest = result.write_manifest(args.out)
+            print(f"wrote manifest to {manifest}", file=sys.stderr)
+    return rc
+
+
+def cmd_golden(args) -> int:
+    from repro.scenarios.golden import (
+        check_golden,
+        compute_golden_digests,
+        save_golden,
+    )
+    if args.update:
+        digests = compute_golden_digests(verbose=not args.json)
+        path = save_golden(digests, args.file)
+        print(f"pinned {len(digests)} golden digest(s) to {path}")
+        return 0
+    try:
+        report = check_golden(args.file, verbose=not args.json)
+    except FileNotFoundError:
+        print(f"no golden file at {args.file}; create one with "
+              f"'repro golden --update'", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1))
+    else:
+        print(report.describe())
+    return 0 if report.ok else 1
+
+
 def cmd_lint(args) -> int:
     from repro.lint.runner import lint_paths, list_rules_text
     if args.list_rules:
@@ -446,6 +542,40 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--out", metavar="FILE",
                         help="also write the JSON report to FILE")
 
+    scen_p = sub.add_parser(
+        "scenario", help="list / validate / run declarative experiment "
+                         "scenarios (workload x scheme x seed matrices)")
+    scen_p.add_argument("action", choices=("list", "validate", "run"))
+    scen_p.add_argument("names", nargs="*",
+                        help="scenario name(s); validate defaults to "
+                             "all registered scenarios")
+    scen_p.add_argument("--tag", default=None,
+                        help="filter 'list' by tag (paper, scaled, "
+                             "family, stress, chaos)")
+    scen_p.add_argument("--smoke", action="store_true",
+                        help="run the scaled-down smoke variant")
+    scen_p.add_argument("--max-cycles", type=int, default=None,
+                        help="override the scenario's cycle budget")
+    scen_p.add_argument("--out", metavar="DIR",
+                        help="write manifest.json + per-cell snapshot "
+                             "JSONs under DIR/<scenario>/")
+    scen_p.add_argument("--json", action="store_true",
+                        help="print the manifest body as JSON")
+    sanitize_opt(scen_p)
+    parallel_opts(scen_p)
+
+    gold_p = sub.add_parser(
+        "golden", help="golden-run regression suite: compare canonical "
+                       "snapshot digests of a pinned STAMP tour "
+                       "(exit 0 match / 1 mismatch / 2 never pinned)")
+    gold_p.add_argument("--update", action="store_true",
+                        help="re-pin the digests (bless an intentional "
+                             "behaviour change)")
+    gold_p.add_argument("--file", default="tests/golden/golden.json",
+                        help="golden file location")
+    gold_p.add_argument("--json", action="store_true",
+                        help="print the report as JSON")
+
     area_p = sub.add_parser("area", help="Table III area/power model")
     area_p.add_argument("--pbuffer", type=int, default=16)
     area_p.add_argument("--txlb", type=int, default=32)
@@ -498,6 +628,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": cmd_lint,
         "profile": cmd_profile,
         "chaos": cmd_chaos,
+        "scenario": cmd_scenario,
+        "golden": cmd_golden,
     }
     return handlers[args.command](args)
 

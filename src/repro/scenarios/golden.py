@@ -1,0 +1,191 @@
+"""Golden-run regression suite (``repro golden``).
+
+Pins the canonical end-of-run snapshot digest
+(:meth:`repro.sim.stats.Stats.snapshot_digest`) of a small STAMP tour
+— four representative workloads under the baseline and PUNO designs,
+with the dynamic protocol sanitizer armed — in
+``tests/golden/golden.json``.  Any behavioural change to the
+simulator, however subtle (one skipped MP-bit relay, one reordered
+message, one miscounted cycle), changes at least one digest and fails
+the suite; an *intentional* behaviour change is blessed with
+``repro golden --update``.
+
+The tour is deliberately cheap (sub-second) so it can run in every
+test invocation: digests cover every counter in the snapshot, so a
+small tour buys wide behavioural coverage.  Golden runs always bypass
+the result cache (a cache hit would re-hash the pinned result and
+verify nothing).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.sim.config import SystemConfig
+from repro.system import System
+from repro.workloads.stamp import make_stamp_workload
+
+#: Repo-relative location of the pinned digests.
+DEFAULT_GOLDEN_PATH = Path("tests") / "golden" / "golden.json"
+
+#: The tour: (workload, scheme) cells.  Intruder is the high-contention
+#: member (exercises false aborting + MP feedback), kmeans the
+#: RMW-heavy one, vacation the mid-contention mixed one, genome the
+#: near-contention-free control.
+GOLDEN_WORKLOADS: Tuple[str, ...] = ("intruder", "kmeans", "vacation",
+                                     "genome")
+GOLDEN_SCHEMES: Tuple[str, ...] = ("baseline", "puno")
+GOLDEN_NODES = 16
+GOLDEN_SCALE = 0.1
+GOLDEN_SEED = 0
+GOLDEN_MAX_CYCLES = 200_000_000
+
+#: Bumped when the tour definition itself changes (not when behaviour
+#: changes — that is what ``--update`` records).
+GOLDEN_FORMAT = 1
+
+
+def golden_cells() -> List[Tuple[str, str]]:
+    return [(wl, scheme) for wl in GOLDEN_WORKLOADS
+            for scheme in GOLDEN_SCHEMES]
+
+
+def run_golden_cell(workload: str, scheme: str) -> "System":
+    """One sanitized, audited golden run; returns the finished System
+    (callers read ``system.stats``)."""
+    cfg = SystemConfig(seed=GOLDEN_SEED + 1)
+    if scheme == "puno":
+        cfg = cfg.with_puno()
+    wl = make_stamp_workload(workload, num_nodes=GOLDEN_NODES,
+                             scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
+    system = System(cfg, wl, scheme, sanitize=True)
+    system.run(max_cycles=GOLDEN_MAX_CYCLES)
+    return system
+
+
+def compute_golden_digests(verbose: bool = False) -> Dict[str, str]:
+    """Run the whole tour; digests keyed ``workload/scheme``."""
+    out: Dict[str, str] = {}
+    for workload, scheme in golden_cells():
+        system = run_golden_cell(workload, scheme)
+        digest = system.stats.snapshot_digest()
+        out[f"{workload}/{scheme}"] = digest
+        if verbose:
+            print(f"  {workload}/{scheme}: {digest[:16]}… "
+                  f"({system.stats.sanitizer_checks} sanitizer checks)")
+    return out
+
+
+# ---------------------------------------------------------------------
+# pinned-file I/O
+# ---------------------------------------------------------------------
+
+def save_golden(digests: Dict[str, str],
+                path: Union[str, Path] = DEFAULT_GOLDEN_PATH) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "format": GOLDEN_FORMAT,
+        "tour": {
+            "workloads": list(GOLDEN_WORKLOADS),
+            "schemes": list(GOLDEN_SCHEMES),
+            "nodes": GOLDEN_NODES,
+            "scale": GOLDEN_SCALE,
+            "seed": GOLDEN_SEED,
+            "sanitize": True,
+        },
+        "digests": dict(sorted(digests.items())),
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_golden(path: Union[str, Path] = DEFAULT_GOLDEN_PATH
+                ) -> Dict[str, str]:
+    """The pinned digests; raises FileNotFoundError when never pinned."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("format") != GOLDEN_FORMAT:
+        raise ValueError(
+            f"{path}: golden file format {doc.get('format')!r} != "
+            f"expected {GOLDEN_FORMAT}; re-pin with 'repro golden "
+            f"--update'")
+    return dict(doc["digests"])
+
+
+# ---------------------------------------------------------------------
+# comparison
+# ---------------------------------------------------------------------
+
+@dataclass
+class GoldenReport:
+    """Outcome of one golden comparison."""
+
+    matched: List[str] = field(default_factory=list)
+    mismatched: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    missing: List[str] = field(default_factory=list)  # pinned, not run
+    extra: List[str] = field(default_factory=list)  # run, not pinned
+
+    @property
+    def ok(self) -> bool:
+        return not (self.mismatched or self.missing or self.extra)
+
+    def describe(self) -> str:
+        lines = [f"golden: {len(self.matched)} cell(s) match"]
+        for cell, (pinned, got) in sorted(self.mismatched.items()):
+            lines.append(f"  MISMATCH {cell}: pinned {pinned[:16]}… "
+                         f"got {got[:16]}…")
+        for cell in self.missing:
+            lines.append(f"  MISSING  {cell}: pinned but not produced "
+                         f"by the current tour")
+        for cell in self.extra:
+            lines.append(f"  EXTRA    {cell}: produced but not pinned "
+                         f"(re-pin with 'repro golden --update')")
+        if not self.ok:
+            lines.append("golden suite FAILED — a behavioural change "
+                         "reached the protocol; if intentional, bless "
+                         "it with 'repro golden --update'")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "matched": sorted(self.matched),
+            "mismatched": {k: {"pinned": p, "got": g}
+                           for k, (p, g) in self.mismatched.items()},
+            "missing": sorted(self.missing),
+            "extra": sorted(self.extra),
+        }
+
+
+def compare_digests(pinned: Dict[str, str],
+                    current: Dict[str, str]) -> GoldenReport:
+    report = GoldenReport()
+    for cell, digest in pinned.items():
+        if cell not in current:
+            report.missing.append(cell)
+        elif current[cell] != digest:
+            report.mismatched[cell] = (digest, current[cell])
+        else:
+            report.matched.append(cell)
+    report.extra = [c for c in current if c not in pinned]
+    return report
+
+
+def check_golden(path: Union[str, Path] = DEFAULT_GOLDEN_PATH,
+                 verbose: bool = False,
+                 current: Optional[Dict[str, str]] = None) -> GoldenReport:
+    """Run the tour and compare against the pinned digests.
+
+    ``current`` lets tests inject precomputed (or deliberately
+    mutated) digests instead of re-running the tour.
+    """
+    pinned = load_golden(path)
+    if current is None:
+        current = compute_golden_digests(verbose=verbose)
+    return compare_digests(pinned, current)

@@ -12,7 +12,7 @@ frozen dataclasses.  The defaults reproduce Table II:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Dict, Tuple
 
 
 @dataclass(frozen=True)
@@ -240,17 +240,84 @@ class SystemConfig:  # lint: disable=dataclass-slots -- pickled across sweep wor
         return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)
 
 
-def small_config(num_nodes: int = 4, seed: int = 1, **kwargs) -> SystemConfig:
-    """A reduced configuration for tests: tiny mesh, same protocol."""
+def mesh_shape(num_nodes: int) -> Tuple[int, int]:
+    """The most-square ``(width, height)`` factorization of a node
+    count (width >= height), used to lay arbitrary scenario sizes out
+    on a 2D mesh: 16 -> 4x4, 32 -> 8x4, 64 -> 8x8.  Prime counts
+    degenerate to a 1-high chain."""
     import math
 
-    w = int(math.sqrt(num_nodes))
-    h = num_nodes // w
-    if w * h != num_nodes:
-        w, h = num_nodes, 1
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    for h in range(int(math.isqrt(num_nodes)), 0, -1):
+        if num_nodes % h == 0:
+            return num_nodes // h, h
+    return num_nodes, 1  # pragma: no cover - isqrt loop always hits 1
+
+
+def small_config(num_nodes: int = 4, seed: int = 1, **kwargs) -> SystemConfig:
+    """A reduced configuration for tests: tiny mesh, same protocol."""
+    w, h = mesh_shape(num_nodes)
     return SystemConfig(
         num_nodes=num_nodes,
         network=NetworkConfig(mesh_width=w, mesh_height=h),
         seed=seed,
         **kwargs,
     )
+
+
+def scaled_config(num_nodes: int, seed: int = 1, **kwargs) -> SystemConfig:
+    """A Table II configuration stretched to an arbitrary mesh size.
+
+    This is the scenario subsystem's config factory: the mesh takes the
+    most-square shape for ``num_nodes`` and the P-Buffer grows with the
+    node count (the paper sizes it at one entry per node), so 32- and
+    64-node scenarios don't trip the structural one-entry-per-node
+    check.  All other Table II parameters keep their defaults unless
+    overridden.
+    """
+    cfg = small_config(num_nodes, seed=seed, **kwargs)
+    if cfg.puno.pbuffer_entries < num_nodes:
+        cfg = replace(cfg, puno=replace(cfg.puno,
+                                        pbuffer_entries=num_nodes))
+    return cfg
+
+
+#: Override sections accepted by :func:`override_config`, mapped to the
+#: SystemConfig field holding the nested dataclass.
+OVERRIDE_SECTIONS = ("htm", "puno", "network", "cache", "system")
+
+
+def override_config(config: SystemConfig,
+                    overrides: Dict[str, Dict[str, object]]
+                    ) -> SystemConfig:
+    """Apply declarative ``{section: {field: value}}`` overrides.
+
+    Sections are ``htm``/``puno``/``network``/``cache`` (replacing
+    fields of the nested dataclass) and ``system`` (top-level
+    SystemConfig fields).  Unknown sections or field names raise
+    ``ValueError`` — a scenario with a typo'd override must fail
+    validation, not silently run the default configuration.
+    """
+    import dataclasses
+
+    cfg = config
+    for section, fields_ in overrides.items():
+        if section not in OVERRIDE_SECTIONS:
+            raise ValueError(
+                f"unknown override section {section!r}; "
+                f"choices: {OVERRIDE_SECTIONS}")
+        if not fields_:
+            continue
+        target = cfg if section == "system" else getattr(cfg, section)
+        valid = {f.name for f in dataclasses.fields(target)}
+        unknown = set(fields_) - valid
+        if unknown:
+            raise ValueError(
+                f"unknown {section} config field(s) {sorted(unknown)}; "
+                f"choices: {sorted(valid)}")
+        if section == "system":
+            cfg = replace(cfg, **fields_)
+        else:
+            cfg = replace(cfg, **{section: replace(target, **fields_)})
+    return cfg

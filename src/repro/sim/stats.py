@@ -250,6 +250,21 @@ class Stats:
                 out[name] = value
         return out
 
+    def snapshot_digest(self) -> str:
+        """sha256 over the canonical JSON form of :meth:`snapshot`.
+
+        Two runs are behaviourally identical iff their digests match —
+        this single hex string is what the golden-run regression suite
+        pins and what the determinism audit compares, so its encoding
+        must stay stable: sorted keys, compact separators, and only
+        JSON-native scalar types in the snapshot.
+        """
+        import hashlib
+        import json
+        blob = json.dumps(self.snapshot(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
     def summary(self) -> Dict[str, float]:
         """Flat dict of headline metrics (used by reports and sweeps)."""
         return {

@@ -9,6 +9,10 @@ baseline abort rate (calibrated against Table I).
 
 :mod:`repro.workloads.synthetic` adds parameterized microbenchmarks
 with explicit contention knobs, used by the examples and ablations.
+
+:mod:`repro.workloads.families` adds scale-oriented contention
+families (hotspot RMW, producer-consumer chains, Zipf-shared counters,
+long-reader/short-writer mixes) built for the 32/64-node scenarios.
 """
 
 from repro.workloads.base import (
@@ -19,6 +23,7 @@ from repro.workloads.base import (
     Program,
     Workload,
 )
+from repro.workloads.families import FAMILIES, make_family_workload
 from repro.workloads.generator import AddressSpace, SharedRegion
 from repro.workloads.stamp import STAMP_WORKLOADS, make_stamp_workload
 from repro.workloads.synthetic import make_synthetic_workload
@@ -32,7 +37,9 @@ __all__ = [
     "Workload",
     "AddressSpace",
     "SharedRegion",
+    "FAMILIES",
     "STAMP_WORKLOADS",
+    "make_family_workload",
     "make_stamp_workload",
     "make_synthetic_workload",
 ]

@@ -205,3 +205,84 @@ def test_compare_resume_populates_checkpoint(tmp_path, monkeypatch, capsys):
     assert rc == 0
     cp_dir = tmp_path / ".repro-sweep-checkpoint"
     assert len(list(cp_dir.glob("*.pkl"))) == 2  # one per scheme
+
+
+# ---------------------------------------------------------------------
+# scenario subcommand
+# ---------------------------------------------------------------------
+
+def test_scenario_list(capsys):
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("paper-16", "hotspot-32", "zipf-64", "chaos-32"):
+        assert name in out
+
+
+def test_scenario_list_tag_filter(capsys):
+    assert main(["scenario", "list", "--tag", "chaos"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos-32" in out and "paper-16" not in out
+
+
+def test_scenario_validate_all(capsys):
+    assert main(["scenario", "validate"]) == 0
+    out = capsys.readouterr().out
+    assert "paper-16: ok" in out
+
+
+def test_scenario_validate_unknown_fails(capsys):
+    assert main(["scenario", "validate", "nope"]) == 1
+
+
+def test_scenario_run_requires_name(capsys):
+    assert main(["scenario", "run"]) == 2
+    assert main(["scenario", "run", "nope"]) == 2
+
+
+def test_scenario_run_smoke(tmp_path, monkeypatch, capsys):
+    _guard_checkpoint_env(monkeypatch)
+    rc = main(["scenario", "run", "prodcons-32", "--smoke", "--no-cache",
+               "--out", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "prodcons-32-smoke" in out
+    assert "exec x" in out
+    manifest = tmp_path / "prodcons-32-smoke" / "manifest.json"
+    doc = json.loads(manifest.read_text())
+    assert len(doc["cells"]) == 2
+
+
+def test_scenario_run_json(monkeypatch, capsys):
+    _guard_checkpoint_env(monkeypatch)
+    rc = main(["scenario", "run", "prodcons-32", "--smoke", "--no-cache",
+               "--json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["scenario"]["name"] == "prodcons-32-smoke"
+    assert all(len(c["snapshot_sha256"]) == 64 for c in doc["cells"])
+
+
+# ---------------------------------------------------------------------
+# golden subcommand
+# ---------------------------------------------------------------------
+
+def test_golden_check_matches_pinned(capsys):
+    from pathlib import Path
+    golden = Path(__file__).parent / "golden" / "golden.json"
+    assert main(["golden", "--file", str(golden)]) == 0
+    assert "8 cell(s) match" in capsys.readouterr().out
+
+
+def test_golden_missing_file_is_exit_2(tmp_path, capsys):
+    assert main(["golden", "--file", str(tmp_path / "none.json")]) == 2
+    assert "repro golden --update" in capsys.readouterr().err
+
+
+def test_golden_update_then_check(tmp_path, capsys):
+    path = tmp_path / "golden.json"
+    assert main(["golden", "--update", "--file", str(path)]) == 0
+    assert path.exists()
+    assert main(["golden", "--file", str(path), "--json"]) == 0
+    out = capsys.readouterr().out
+    doc = json.loads(out[out.index("{"):])
+    assert doc["ok"] is True and len(doc["matched"]) == 8

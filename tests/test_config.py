@@ -93,3 +93,49 @@ def test_configs_frozen():
     cfg = SystemConfig()
     with pytest.raises(dataclasses.FrozenInstanceError):
         cfg.num_nodes = 8
+
+
+# ---------------------------------------------------------------------
+# scenario-era helpers: mesh_shape / scaled_config / override_config
+# ---------------------------------------------------------------------
+
+def test_mesh_shape_most_square():
+    from repro.sim.config import mesh_shape
+    assert mesh_shape(16) == (4, 4)
+    assert mesh_shape(32) == (8, 4)
+    assert mesh_shape(64) == (8, 8)
+    assert mesh_shape(12) == (4, 3)
+    assert mesh_shape(2) == (2, 1)
+    assert mesh_shape(7) == (7, 1)  # prime degenerates to a chain
+    for n in range(1, 70):
+        w, h = mesh_shape(n)
+        assert w * h == n and w >= h >= 1
+
+
+def test_scaled_config_sizes_pbuffer_per_node():
+    from repro.sim.config import scaled_config
+    cfg = scaled_config(64, seed=3)
+    assert cfg.num_nodes == 64
+    assert cfg.network.mesh_width * cfg.network.mesh_height == 64
+    assert cfg.puno.pbuffer_entries == 64  # one entry per node
+    assert cfg.seed == 3
+    # the paper envelope keeps its Table II sizing
+    assert scaled_config(16).puno.pbuffer_entries == 16
+    # explicit kwargs still win
+    assert scaled_config(32, l2_latency=9).l2_latency == 9
+
+
+def test_override_config_applies_and_rejects():
+    from repro.sim.config import override_config
+    cfg = SystemConfig()
+    out = override_config(cfg, {"puno": {"timeout_scale": 0.5},
+                                "system": {"l2_latency": 7}})
+    assert out.puno.timeout_scale == 0.5
+    assert out.l2_latency == 7
+    assert cfg.puno.timeout_scale != 0.5  # original untouched
+
+    with pytest.raises(ValueError, match="unknown override section"):
+        override_config(cfg, {"engine": {"x": 1}})
+    with pytest.raises(ValueError, match="unknown puno config field"):
+        override_config(cfg, {"puno": {"warp": 1}})
+    assert override_config(cfg, {}) == cfg

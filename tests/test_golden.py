@@ -1,0 +1,149 @@
+"""Golden-run regression suite.
+
+``tests/golden/golden.json`` pins the canonical snapshot digest of a
+small sanitized STAMP tour (four workloads x {baseline, puno}).  The
+digest covers *every* counter in :meth:`repro.sim.stats.Stats.snapshot`,
+so any behavioural drift in the protocol — one skipped message, one
+miscounted cycle — flips at least one digest and fails this suite.
+
+Intentional behaviour changes are blessed with ``repro golden
+--update`` (and the re-pin should be called out in the commit).
+
+The meta-test at the bottom proves the suite has teeth: it flips one
+protocol line (skip the MP-bit relay on UNBLOCK, the PUNO feedback
+path) and asserts the comparison catches it.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.htm.node import Mshr
+from repro.scenarios.golden import (
+    DEFAULT_GOLDEN_PATH,
+    GOLDEN_FORMAT,
+    GOLDEN_SCHEMES,
+    GOLDEN_WORKLOADS,
+    check_golden,
+    compare_digests,
+    compute_golden_digests,
+    golden_cells,
+    load_golden,
+    run_golden_cell,
+    save_golden,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "golden.json"
+
+
+@pytest.fixture(scope="module")
+def current_digests():
+    """Run the tour once for the whole module (sub-second per cell)."""
+    return compute_golden_digests()
+
+
+def test_golden_file_is_pinned():
+    assert GOLDEN_PATH.exists(), (
+        "tests/golden/golden.json missing — pin it with "
+        "'repro golden --update'")
+    doc = json.loads(GOLDEN_PATH.read_text())
+    assert doc["format"] == GOLDEN_FORMAT
+    expected = {f"{wl}/{scheme}" for wl, scheme in golden_cells()}
+    assert set(doc["digests"]) == expected
+    for digest in doc["digests"].values():
+        assert len(digest) == 64
+        int(digest, 16)  # valid hex
+
+
+def test_golden_tour_matches_pinned(current_digests):
+    """The regression check itself: current behaviour == pinned."""
+    report = check_golden(GOLDEN_PATH, current=current_digests)
+    assert report.ok, "\n" + report.describe()
+    assert len(report.matched) == len(golden_cells())
+
+
+def test_golden_runs_are_sanitized_and_nontrivial():
+    """The tour must exercise real protocol activity (else the digests
+    pin nothing) and run with the sanitizer armed."""
+    system = run_golden_cell("intruder", "puno")
+    st = system.stats
+    assert st.sanitizer_checks > 0, "sanitizer must be armed"
+    assert st.tx_committed > 0
+    assert st.tx_aborted > 0, "tour must include real contention"
+    # The PUNO cells must actually drive the PUNO machinery, otherwise
+    # the meta-test mutation below would be invisible.
+    assert st.puno_unicasts > 0
+    assert st.puno_pbuffer_updates > 0
+
+
+def test_compare_digests_reports_all_categories():
+    pinned = {"a/x": "1", "b/x": "2", "c/x": "3"}
+    current = {"a/x": "1", "b/x": "9", "d/x": "4"}
+    report = compare_digests(pinned, current)
+    assert not report.ok
+    assert report.matched == ["a/x"]
+    assert report.mismatched == {"b/x": ("2", "9")}
+    assert report.missing == ["c/x"]
+    assert report.extra == ["d/x"]
+    text = report.describe()
+    assert "MISMATCH b/x" in text
+    assert "MISSING  c/x" in text
+    assert "EXTRA    d/x" in text
+    assert "FAILED" in text
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    path = tmp_path / "golden.json"
+    digests = {"intruder/puno": "ab" * 32}
+    save_golden(digests, path)
+    assert load_golden(path) == digests
+
+
+def test_load_rejects_wrong_format(tmp_path):
+    path = tmp_path / "golden.json"
+    path.write_text(json.dumps({"format": 999, "digests": {}}))
+    with pytest.raises(ValueError, match="format"):
+        load_golden(path)
+
+
+def test_default_path_is_repo_relative():
+    assert DEFAULT_GOLDEN_PATH == Path("tests") / "golden" / "golden.json"
+
+
+# ---------------------------------------------------------------------
+# meta-test: the suite must detect a one-line protocol change
+# ---------------------------------------------------------------------
+
+def test_golden_detects_skipped_mp_relay(monkeypatch, current_digests):
+    """Flip one protocol line — drop the MP-bit relay on UNBLOCK
+    (requesters stop reporting mispredicted unicasts back to the
+    directory, so the P-Buffer never invalidates stale predictions) —
+    and assert the golden comparison catches the drift.
+
+    This is the detection guarantee the suite exists for: if this
+    meta-test ever passes with ``report.ok`` true, the digests have
+    stopped covering the protocol.
+    """
+    monkeypatch.setattr(Mshr, "mp_node", lambda self: -1)
+    mutated = compute_golden_digests()
+    report = check_golden(GOLDEN_PATH, current=mutated)
+    assert not report.ok, (
+        "golden suite failed to detect a skipped MP-bit relay — "
+        "digest coverage has regressed")
+    # Every PUNO cell with real contention should drift; baseline
+    # cells never send unicasts, so their digests must NOT change
+    # (proves the mutation was surgical, not an environment diff).
+    assert any(cell.endswith("/puno") for cell in report.mismatched)
+    baseline_cells = {f"{wl}/baseline" for wl in GOLDEN_WORKLOADS}
+    assert baseline_cells <= set(report.matched)
+    # And the unmutated tour still matches (sanity: the mismatch above
+    # came from the monkeypatch, not from ambient nondeterminism).
+    assert compare_digests(load_golden(GOLDEN_PATH), current_digests).ok
+
+
+def test_golden_schemes_cover_both_designs():
+    assert "baseline" in GOLDEN_SCHEMES
+    assert "puno" in GOLDEN_SCHEMES
+    assert set(GOLDEN_WORKLOADS) == {"intruder", "kmeans", "vacation",
+                                     "genome"}

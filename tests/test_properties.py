@@ -7,14 +7,16 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.pbuffer import PBuffer
+from repro.core.puno import DirectoryPUNO
 from repro.core.txlb import TxLB
 from repro.coherence.cache import L1Cache
 from repro.coherence.states import L1State
-from repro.network.message import TxTag
+from repro.network.message import Message, MessageType, TxTag
 from repro.network.topology import Mesh
 from repro.sim.config import CacheConfig, NetworkConfig, PUNOConfig, \
     small_config
 from repro.sim.engine import Simulator
+from repro.sim.stats import Stats
 from repro.system import System
 from repro.workloads.base import Workload
 from repro.workloads.synthetic import make_synthetic_workload
@@ -127,6 +129,102 @@ def test_pbuffer_validity_stays_in_range(ops):
         # usable implies a priority is recorded
         if pb.usable(1):
             assert pb.priority(1) is not None
+
+
+@given(st.lists(st.one_of(
+    st.tuples(st.just("update"), st.integers(0, 7), st.integers(0, 5000)),
+    st.tuples(st.just("decay"), st.just(0), st.just(0)),
+    st.tuples(st.just("invalidate"), st.integers(0, 7), st.just(0)),
+), max_size=120))
+def test_pbuffer_matches_reference_model(ops):
+    """The 2-bit validity automaton against an exact reference model:
+    +2 from zero, +1 otherwise, saturate at validity_max, decay -1
+    floored at 0, invalidate clears both fields (Fig. 5)."""
+    cfg = PUNOConfig(enabled=True)
+    pb = PBuffer(8, cfg)
+    ref_v = [0] * 8
+    ref_p = [None] * 8
+    for op, node, ts in ops:
+        if op == "update":
+            ref_v[node] = min(ref_v[node] + (2 if ref_v[node] == 0 else 1),
+                              cfg.validity_max)
+            ref_p[node] = ts
+            pb.update(node, ts)
+        elif op == "decay":
+            ref_v = [max(0, v - 1) for v in ref_v]
+            pb.decay()
+        else:
+            ref_v[node] = 0
+            ref_p[node] = None
+            pb.invalidate(node)
+        for n in range(8):
+            assert pb.validity(n) == ref_v[n]
+            assert pb.priority(n) == ref_p[n]
+            # prediction gate: usable iff fresh AND a priority exists
+            expected_usable = (ref_p[n] is not None
+                               and ref_v[n] > cfg.validity_threshold)
+            assert pb.usable(n) == expected_usable
+    assert pb.updates == sum(1 for o in ops if o[0] == "update")
+    assert pb.decays == sum(1 for o in ops if o[0] == "decay")
+
+
+@given(st.lists(st.integers(1, 1_000_000), max_size=40),
+       st.floats(0.1, 8.0), st.booleans())
+def test_adaptive_timeout_period_stays_bounded(hints, scale, adaptive):
+    """The rollover period is always inside [min_timeout, max_timeout]
+    whatever length hints arrive — and exactly fixed_timeout when
+    adaptivity is ablated."""
+    cfg = PUNOConfig(enabled=True, adaptive_timeout=adaptive,
+                     timeout_scale=scale)
+    unit = DirectoryPUNO(Simulator(), 8, cfg, Stats(8))
+    for i, hint in enumerate(hints):
+        msg = Message(MessageType.GETX, addr=i % 4, src=i % 8, dst=0,
+                      tx=TxTag(node=i % 8, timestamp=10 * i,
+                               length_hint=hint))
+        unit.observe_request(msg)
+        period = unit._timeout_period()
+        if adaptive:
+            assert cfg.min_timeout <= period <= cfg.max_timeout
+        else:
+            assert period == cfg.fixed_timeout
+    unit.stop()
+
+
+@given(st.lists(st.integers(1, 10_000), min_size=1, max_size=40))
+def test_txlb_formula_one_exact(lengths):
+    """Formula (1) to the bit: len_new = (len_prev + dyn_len) / 2,
+    seeded by the first observation."""
+    t = TxLB()
+    ref = None
+    for L in lengths:
+        ref = float(L) if ref is None else (ref + L) / 2.0
+        assert t.update(0, L) == ref
+    assert t.average_length(0) == int(ref)
+    # recency dominance: the EMA sits within dyn_len/2 of the last
+    # instance's mean with its predecessor, i.e. the last two samples
+    # contribute >= 3/4 of the estimate's mass
+    if len(lengths) >= 2:
+        tail = (lengths[-2] / 4 + lengths[-1] / 2)
+        assert abs(ref - tail) <= max(lengths[:-1]) / 4
+
+
+@given(st.lists(st.tuples(st.integers(0, 100), st.integers(1, 500)),
+                min_size=1, max_size=120), st.integers(1, 6))
+def test_txlb_eviction_preserves_history_exactly(updates, cap):
+    """LRU overflow moves entries to the software map without changing
+    their value: the estimate sequence is identical to an unbounded
+    table's."""
+    bounded = TxLB(capacity=cap)
+    unbounded = TxLB(capacity=10 ** 9)
+    for sid, L in updates:
+        assert bounded.update(sid, L) == unbounded.update(sid, L)
+        assert len(bounded) <= cap
+    for sid, _ in updates:
+        assert bounded.average_length(sid) == unbounded.average_length(sid)
+    distinct = len({sid for sid, _ in updates})
+    assert bounded.overflows == (0 if distinct <= cap else bounded.overflows)
+    if distinct <= cap:
+        assert bounded.overflows == 0
 
 
 # ---------------------------------------------------------------------
