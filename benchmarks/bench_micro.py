@@ -91,6 +91,32 @@ def bench_event_engine(n: int, repeats: int) -> dict:
 
 
 # ---------------------------------------------------------------------
+# phase 2b: batched same-cycle drain (Event-free call_later path)
+# ---------------------------------------------------------------------
+
+def bench_batched_drain(n: int, repeats: int) -> dict:
+    """Same-cycle delivery batch: ``n`` Event-free callbacks landing
+    on one timestamp, drained by the unbounded run loop — the clock
+    commits once per timestamp and every follower pays only a local
+    compare, which is the engine's batching contract."""
+    from repro.sim.engine import Simulator
+
+    def drain():
+        sim = Simulator()
+
+        def noop():
+            pass
+
+        call_later = sim.call_later
+        for _ in range(n):
+            call_later(3, noop)
+        sim.run()
+
+    wall = _best_of(drain, repeats)
+    return {"n": n, "events_per_sec": n / wall}
+
+
+# ---------------------------------------------------------------------
 # phase 3: network send + deliver
 # ---------------------------------------------------------------------
 
@@ -147,6 +173,51 @@ def bench_dispatch(n: int, repeats: int) -> dict:
 
     wall = _best_of(spin, repeats)
     return {"n": n, "ns_per_receive": wall / n * 1e9}
+
+
+# ---------------------------------------------------------------------
+# phase 4b: int-coded flat-table dispatch
+# ---------------------------------------------------------------------
+
+def bench_int_dispatch(n: int, repeats: int) -> dict:
+    """Delivery dispatch as the int-coded hot path performs it: one
+    list index for the per-type stats accumulation and one flat-table
+    index for the handler, no str hashing and no enum dict lookup."""
+    from repro.network.message import (Message, MessageType,
+                                       N_MESSAGE_TYPES)
+    from repro.network.network import Network
+    from repro.network.topology import Mesh
+    from repro.sim.config import NetworkConfig
+    from repro.sim.engine import Simulator
+    from repro.sim.stats import Stats
+
+    cfg = NetworkConfig()
+    num = cfg.num_nodes
+    stats = Stats(num)
+    net = Network(Simulator(), Mesh(cfg), stats)
+
+    def sink(m):
+        return None
+
+    for node in range(num):
+        net.register_table(node, [sink] * N_MESSAGE_TYPES)
+    msgs = [Message(MessageType(i % N_MESSAGE_TYPES), i, i % num,
+                    (i * 7) % num)
+            for i in range(256)]
+    rounds = max(1, n // 256)
+
+    def spin():
+        handlers = net._handlers
+        counts = stats._msg_counts
+        for _ in range(rounds):
+            for m in msgs:
+                code = m.mtype
+                counts[code] += 1
+                handlers[m.dst * N_MESSAGE_TYPES + code](m)
+
+    wall = _best_of(spin, repeats)
+    eff = rounds * 256
+    return {"n": eff, "ns_per_dispatch": wall / eff * 1e9}
 
 
 # ---------------------------------------------------------------------
@@ -218,8 +289,10 @@ def run_benchmarks(scale: float, repeats: int, micro_n: int) -> dict:
         "phases": {
             "message_construct": bench_message_construct(micro_n, repeats),
             "event_engine": bench_event_engine(micro_n, repeats),
+            "batched_drain": bench_batched_drain(micro_n, repeats),
             "send_deliver": bench_send_deliver(micro_n // 4, repeats),
             "dispatch": bench_dispatch(micro_n, repeats),
+            "int_dispatch": bench_int_dispatch(micro_n, repeats),
         },
         "end_to_end": bench_end_to_end(scale, repeats),
     }
@@ -229,18 +302,55 @@ def run_benchmarks(scale: float, repeats: int, micro_n: int) -> dict:
 def check_against(report: dict, baseline_path: Path,
                   tolerance: float = 2.0) -> int:
     """0 when the fresh aggregate rate is within ``tolerance``x of the
-    committed baseline, 1 on a gross regression."""
+    committed baseline AND of the pre-optimization reference floor
+    (the ``reference_pre_pr`` block, when the baseline carries one);
+    1 on a gross regression against either."""
     baseline = json.loads(baseline_path.read_text())
-    ref = baseline["end_to_end"]["aggregate_events_per_sec"]
     fresh = report["end_to_end"]["aggregate_events_per_sec"]
-    ratio = ref / fresh if fresh else float("inf")
-    print(f"perf check: fresh {fresh:.0f} ev/s vs baseline {ref:.0f} ev/s "
-          f"(slowdown {ratio:.2f}x, limit {tolerance:.1f}x)")
-    if ratio > tolerance:
-        print("perf check FAILED: gross event-rate regression")
-        return 1
-    print("perf check OK")
-    return 0
+    status = 0
+    checks = [("baseline",
+               baseline["end_to_end"]["aggregate_events_per_sec"])]
+    ref_block = baseline.get("reference_pre_pr")
+    if ref_block:
+        checks.append(("pre-optimization floor",
+                       ref_block["end_to_end"]["aggregate_events_per_sec"]))
+    for label, ref in checks:
+        ratio = ref / fresh if fresh else float("inf")
+        print(f"perf check: fresh {fresh:.0f} ev/s vs {label} "
+              f"{ref:.0f} ev/s (slowdown {ratio:.2f}x, "
+              f"limit {tolerance:.1f}x)")
+        if ratio > tolerance:
+            print(f"perf check FAILED: gross event-rate regression "
+                  f"against the {label}")
+            status = 1
+    if status == 0:
+        print("perf check OK")
+    return status
+
+
+def _load_reference(out_path: Path, check_path) -> dict:
+    """The ``reference_pre_pr`` block to embed in the written report.
+
+    Carried forward from an existing report at ``out_path`` (or the
+    --check baseline): either its own reference block, or — when the
+    prior file predates the reference convention — the prior report
+    itself, compacted to its end-to-end numbers.  Empty dict when no
+    prior report exists."""
+    for path in (out_path, check_path):
+        if path is None or not Path(path).exists():
+            continue
+        try:
+            prior = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"reference: ignoring unreadable {path} ({exc})")
+            continue
+        if "reference_pre_pr" in prior:
+            return prior["reference_pre_pr"]
+        if "end_to_end" in prior:
+            return {"python": prior.get("python"),
+                    "scale": prior.get("scale"),
+                    "end_to_end": prior["end_to_end"]}
+    return {}
 
 
 def main(argv=None) -> int:
@@ -259,12 +369,34 @@ def main(argv=None) -> int:
     ap.add_argument("--check", type=Path, metavar="BASELINE",
                     help="compare against a committed baseline JSON; "
                          "exit 1 on >2x aggregate event-rate regression")
+    ap.add_argument("--reference-from", type=Path, metavar="PRIOR",
+                    help="embed PRIOR's own end-to-end numbers as this "
+                         "report's reference_pre_pr block (use when "
+                         "re-baselining: the prior committed report "
+                         "becomes the new pre-optimization reference)")
     args = ap.parse_args(argv)
 
     scale = 0.1 if args.quick else args.scale
     micro_n = 20_000 if args.quick else args.micro_n
 
+    # Resolve the pre-optimization reference BEFORE the fresh report
+    # overwrites args.out; the trajectory (before -> after) stays in
+    # the committed record.
+    if args.reference_from is not None:
+        prior = json.loads(args.reference_from.read_text())
+        reference = {
+            "note": "end-to-end phase of the prior committed report "
+                    "(this optimization pass's parent)",
+            "python": prior.get("python"),
+            "scale": prior.get("scale"),
+            "end_to_end": prior["end_to_end"],
+        }
+    else:
+        reference = _load_reference(args.out, args.check)
+
     report = run_benchmarks(scale, args.repeats, micro_n)
+    if reference:
+        report["reference_pre_pr"] = reference
 
     args.out.write_text(json.dumps(report, indent=1) + "\n")
     e2e = report["end_to_end"]

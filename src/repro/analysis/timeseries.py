@@ -49,7 +49,7 @@ class TimeSeriesSampler:
         self._sim = sim
         self._stats = stats
         self._active = True
-        sim.schedule(self.interval, self._tick)
+        sim.call_later(self.interval, self._tick)
 
     def stop(self) -> None:
         """Take one final sample and stop rescheduling."""
@@ -62,7 +62,7 @@ class TimeSeriesSampler:
             return
         self._snapshot()
         assert self._sim is not None
-        self._sim.schedule(self.interval, self._tick)
+        self._sim.call_later(self.interval, self._tick)
 
     def _snapshot(self) -> None:
         s = self._stats

@@ -38,7 +38,7 @@ class CacheLine:
 
     def __repr__(self) -> str:  # pragma: no cover
         pin = f" pin{self.pinned}" if self.pinned else ""
-        return f"<Line {self.addr} {self.state.value} v={self.value}{pin}>"
+        return f"<Line {self.addr} {self.state.name} v={self.value}{pin}>"
 
 
 class CapacityError(Exception):
@@ -64,11 +64,12 @@ class L1Cache:
 
     # ------------------------------------------------------------------
     def _set_for(self, addr: int) -> Dict[int, CacheLine]:
+        # Cold-path helper; hot methods inline the indexed lookup.
         return self._sets[addr % self._num_sets]
 
     def lookup(self, addr: int, touch: bool = True) -> Optional[CacheLine]:
         """Return the resident line or None.  Updates LRU on touch."""
-        line = self._set_for(addr).get(addr)
+        line = self._sets[addr % self._num_sets].get(addr)
         if line is not None and touch:
             self._tick += 1
             line.lru = self._tick
@@ -85,7 +86,7 @@ class L1Cache:
         Raises :class:`CapacityError` when every way of the target set
         is pinned by the running transaction.
         """
-        cset = self._set_for(addr)
+        cset = self._sets[addr % self._num_sets]
         self._tick += 1
         existing = cset.get(addr)
         if existing is not None:
@@ -130,12 +131,11 @@ class L1Cache:
 
     def invalidate(self, addr: int) -> Optional[CacheLine]:
         """Drop a line (invalidation).  Returns the line if present."""
-        cset = self._set_for(addr)
-        return cset.pop(addr, None)
+        return self._sets[addr % self._num_sets].pop(addr, None)
 
     def downgrade(self, addr: int) -> Optional[CacheLine]:
         """E/M -> S transition on a forwarded GETS."""
-        line = self._set_for(addr).get(addr)
+        line = self._sets[addr % self._num_sets].get(addr)
         if line is not None:
             line.state = L1State.S
         return line
@@ -145,7 +145,7 @@ class L1Cache:
 
         Pin strength only ever increases within a transaction.
         """
-        line = self._set_for(addr).get(addr)
+        line = self._sets[addr % self._num_sets].get(addr)
         if line is not None and level > line.pinned:
             line.pinned = level
 
@@ -161,10 +161,10 @@ class L1Cache:
             yield from cset.values()
 
     def resident(self, addr: int) -> bool:
-        return addr in self._set_for(addr)
+        return addr in self._sets[addr % self._num_sets]
 
     def state_of(self, addr: int) -> L1State:
-        line = self._set_for(addr).get(addr)
+        line = self._sets[addr % self._num_sets].get(addr)
         return line.state if line is not None else L1State.I
 
     def __len__(self) -> int:

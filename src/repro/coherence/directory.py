@@ -18,29 +18,32 @@ UD pointer off the critical path after each service.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional, Set, Tuple
+from typing import Deque, Dict, Optional, Tuple
 
 from repro.coherence.states import DirState
+from repro.core.bitset import bit_tuple
 from repro.network.message import Message, MessageType, make_put_ack
 from repro.network.network import Network
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Simulator
 from repro.sim.stats import Stats
 
-# Enum -> str once at import: the per-service stat charge below must
-# not pay the Enum.name descriptor per request.
-_TYPE_NAMES = {t: t.name for t in MessageType}
-
 
 class DirEntry:
-    """Directory state for one cache line."""
+    """Directory state for one cache line.
+
+    ``sharers`` is an integer bitmask (bit ``n`` = node ``n`` shares
+    the line): membership, add/remove and clear are int ops with no
+    per-event container allocation, and the representation stays one
+    object at any mesh width.
+    """
 
     __slots__ = ("state", "sharers", "owner", "value", "in_l2", "blocked",
                  "waitq", "service", "ud", "tx_readers")
 
     def __init__(self) -> None:
         self.state: DirState = DirState.I
-        self.sharers: Set[int] = set()
+        self.sharers: int = 0
         self.owner: Optional[int] = None
         self.value: int = 0
         self.in_l2: bool = False  # False until first touch (memory fetch)
@@ -90,6 +93,7 @@ class DirectoryController:
         self.config = config
         self.network = network
         self.stats = stats
+        self._dir_req_counts = stats._dir_req_counts  # SoA accumulator
         self.puno = puno  # Optional[repro.core.puno.DirectoryPUNO]
         self.san = None  # Optional[repro.sanitize.sanitizer.ProtocolSanitizer]
         self.entries: Dict[int, DirEntry] = {}
@@ -122,20 +126,26 @@ class DirectoryController:
     # request dispatch / queueing
     # ------------------------------------------------------------------
     def _enqueue_or_service(self, msg: Message) -> None:
-        entry = self.entry(msg.addr)
+        # Inlined ``entry()`` get-or-create: one request arrives here
+        # per coherence transaction, so skip the extra method call.
+        addr = msg.addr
+        entry = self.entries.get(addr)
+        if entry is None:
+            entry = self.entries[addr] = DirEntry()
         if entry.blocked:
             entry.waitq.append((msg, self.sim.now))
             return
         self._service(msg, entry)
 
     def _service(self, msg: Message, entry: DirEntry) -> None:
-        # keyed by type *name*, same str keying as messages_by_type
-        self.stats.dir_requests[_TYPE_NAMES[msg.mtype]] += 1
+        # int-indexed accumulation; folds back to the same str keying
+        # as messages_by_type at the snapshot boundary
+        self._dir_req_counts[msg.mtype] += 1
         if self.stats.tracer is not None:
             self.stats.tracer.emit(
                 "dir", self.sim.now, event="service", home=self.node,
-                type=msg.mtype.value, addr=msg.addr, req=msg.requester,
-                state=entry.state.value, sharers=len(entry.sharers))
+                type=msg.mtype.name, addr=msg.addr, req=msg.requester,
+                state=entry.state.name, sharers=entry.sharers.bit_count())
         if self.puno is not None:
             self.puno.observe_request(msg)
             if self.san is not None:
@@ -158,7 +168,7 @@ class DirectoryController:
             # bank occupancy and unblocks when the response leaves.
             self._block(entry, ServiceRecord(msg, "simple", self.sim.now))
             delay = self.config.directory_latency + self.config.l2_latency
-            self.sim.schedule(delay, self._finish_simple_gets, msg, entry)
+            self.sim.call_later(delay, self._finish_simple_gets, msg, entry)
         else:  # M: forward to the owner
             assert entry.owner is not None and entry.owner != msg.requester, (
                 f"GETS from owner {msg.requester} addr {msg.addr}")
@@ -172,7 +182,7 @@ class DirectoryController:
             self.network.send(fwd, extra_delay=self.config.directory_latency)
 
     def _finish_simple_gets(self, msg: Message, entry: DirEntry) -> None:
-        entry.sharers.add(msg.requester)
+        entry.sharers |= 1 << msg.requester
         if msg.tx is not None:
             entry.tx_readers[msg.requester] = msg.tx.timestamp
         else:
@@ -213,8 +223,9 @@ class DirectoryController:
             return
 
         # state S
-        targets = tuple(sorted(entry.sharers - {msg.requester}))
-        was_sharer = msg.requester in entry.sharers
+        req_bit = 1 << msg.requester
+        targets = bit_tuple(entry.sharers & ~req_bit)  # ascending ids
+        was_sharer = bool(entry.sharers & req_bit)
         if not targets:
             # Requester is the sole sharer (or the list is empty):
             # grant immediately, blocking only for bank occupancy.
@@ -224,7 +235,7 @@ class DirectoryController:
             delay = self.config.directory_latency
             if not was_sharer:
                 delay += self.config.l2_latency
-            self.sim.schedule(delay, self._finish_sole_getx, msg, entry,
+            self.sim.call_later(delay, self._finish_sole_getx, msg, entry,
                               was_sharer)
             return
 
@@ -282,7 +293,7 @@ class DirectoryController:
 
     def _finish_sole_getx(self, msg: Message, entry: DirEntry,
                           was_sharer: bool) -> None:
-        entry.sharers.clear()
+        entry.sharers = 0
         entry.tx_readers.clear()
         if msg.tx is not None:
             # a transactional writer reads the line too (write implies
@@ -316,7 +327,7 @@ class DirectoryController:
             delay = self.config.directory_latency + self.config.memory_latency
             self.stats.l2_misses += 1
         self._block(entry, ServiceRecord(msg, "fetch", self.sim.now))
-        self.sim.schedule(delay, self._finish_fetch, msg, entry)
+        self.sim.call_later(delay, self._finish_fetch, msg, entry)
 
     def _finish_fetch(self, msg: Message, entry: DirEntry) -> None:
         entry.in_l2 = True
@@ -324,7 +335,7 @@ class DirectoryController:
         # GETS and GETX leave the entry in the owner state.
         entry.state = DirState.M
         entry.owner = msg.requester
-        entry.sharers.clear()
+        entry.sharers = 0
         entry.tx_readers.clear()
         if msg.tx is not None:
             entry.tx_readers[msg.requester] = msg.tx.timestamp
@@ -349,13 +360,15 @@ class DirectoryController:
                 # Sticky-S: the evictor's transaction read this line;
                 # keep it a sharer so forwards still reach it.
                 entry.state = DirState.S
-                entry.sharers = {msg.src}
+                entry.sharers = 1 << msg.src
                 if msg.tx is not None:
-                    entry.tx_readers = {msg.src: msg.tx.timestamp}
+                    readers = entry.tx_readers
+                    readers.clear()
+                    readers[msg.src] = msg.tx.timestamp
             else:
                 entry.state = DirState.I
-                entry.sharers = set()
-                entry.tx_readers = {}
+                entry.sharers = 0
+                entry.tx_readers.clear()
         # else: stale writeback (ownership already moved on) — drop it.
         ack = make_put_ack(msg.addr, self.node, msg.src, msg.req_id)
         self.network.send(ack, extra_delay=self.config.directory_latency)
@@ -385,7 +398,7 @@ class DirectoryController:
                         rec: ServiceRecord) -> None:
         if rec.kind == "getx":
             if msg.success:
-                entry.sharers.clear()
+                entry.sharers = 0
                 entry.tx_readers.clear()
                 if rec.msg.tx is not None:
                     entry.tx_readers[msg.requester] = rec.msg.tx.timestamp
@@ -396,27 +409,34 @@ class DirectoryController:
             else:
                 # Multicast fail: nackers kept their copies, everyone
                 # else invalidated; the (upgrading) requester keeps S.
-                survivors = set(msg.survivors)
+                survivors = 0
+                for n in msg.survivors:
+                    survivors |= 1 << n
                 if rec.requester_was_sharer:
-                    survivors.add(msg.requester)
+                    survivors |= 1 << msg.requester
                 entry.sharers = survivors
-                entry.tx_readers = {n: ts for n, ts in entry.tx_readers.items()
-                                    if n in survivors}
+                readers = entry.tx_readers
+                if readers:
+                    for n in [n for n in readers
+                              if not (survivors >> n) & 1]:
+                        del readers[n]
                 entry.state = DirState.S if survivors else DirState.I
         elif rec.kind == "gets":
             if msg.success:
                 old_owner = entry.owner
                 entry.state = DirState.S
                 entry.owner = None
-                entry.sharers = {old_owner, msg.requester}
+                entry.sharers = (1 << old_owner) | (1 << msg.requester)
                 # keep the downgraded owner's reader epoch (it read the
                 # line under its current transaction), add the requester
-                entry.tx_readers = {
-                    n: ts for n, ts in entry.tx_readers.items()
-                    if n == old_owner
-                }
+                readers = entry.tx_readers
+                if readers:
+                    owner_ts = readers.get(old_owner)
+                    readers.clear()
+                    if owner_ts is not None:
+                        readers[old_owner] = owner_ts
                 if rec.msg.tx is not None:
-                    entry.tx_readers[msg.requester] = rec.msg.tx.timestamp
+                    readers[msg.requester] = rec.msg.tx.timestamp
             # fail: owner nacked and keeps M; state stands.
         else:  # pragma: no cover - protocol bug guard
             raise AssertionError(f"UNBLOCK for {rec.kind} service")

@@ -4,6 +4,12 @@ L1 lines use MESI; the directory tracks {Invalid, Shared, Modified}
 with E folded into the owner path (an E owner is tracked exactly like an
 M owner — it silently upgrades on a local write, and supplies data on
 forwards, clean or dirty).
+
+Both enums are ``IntEnum`` with permission-ordered codes: ``I < S < E
+< M``.  Hot paths test permissions with one int compare — readable is
+``state > L1State.I``, writable is ``state >= L1State.E`` — instead of
+a Python-level property or tuple-membership call per access.  The
+string view lives in ``.name`` (identical to the old string values).
 """
 
 from __future__ import annotations
@@ -11,22 +17,23 @@ from __future__ import annotations
 import enum
 
 
-class L1State(enum.Enum):
-    I = "I"
-    S = "S"
-    E = "E"
-    M = "M"
+class L1State(enum.IntEnum):
+    # Permission-ordered codes: comparisons below rely on I < S < E < M.
+    I = 0
+    S = 1
+    E = 2
+    M = 3
 
     @property
     def readable(self) -> bool:
-        return self is not L1State.I
+        return self > 0
 
     @property
     def writable(self) -> bool:
-        return self in (L1State.E, L1State.M)
+        return self >= 2
 
 
-class DirState(enum.Enum):
-    I = "I"  # only the home L2/memory has the line
-    S = "S"  # one or more read-only sharers
-    M = "M"  # a single owner holds E or M
+class DirState(enum.IntEnum):
+    I = 0  # only the home L2/memory has the line
+    S = 1  # one or more read-only sharers
+    M = 2  # a single owner holds E or M

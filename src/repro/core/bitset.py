@@ -1,0 +1,52 @@
+"""Integer-bitmask node sets.
+
+Directory sharer lists are plain ints — bit ``n`` set means node ``n``
+is a member — so a 256-node sharer vector is one machine word-ish
+object instead of a set of boxed ints, membership is a shift-and-mask,
+and popcount is ``int.bit_count()``.  These helpers cover the few
+operations that are not a one-liner at the call site; hot paths inline
+the idioms directly (``mask |= 1 << n``, ``(mask >> n) & 1``,
+``mask & ~(1 << n)``) and only fall back to the iteration helpers when
+they genuinely need the member list.
+
+Iteration order is ascending node id (lowest set bit first via the
+``mask & -mask`` isolate trick), which matches ``sorted(set)`` of the
+old representation — anything deterministic built from the iteration
+(forward fan-out order, trace output) is bit-identical to the set-based
+code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+
+def mask_of(nodes: Iterable[int]) -> int:
+    """Bitmask with every node id in ``nodes`` set."""
+    mask = 0
+    for n in nodes:
+        mask |= 1 << n
+    return mask
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield set-bit positions in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def bit_list(mask: int) -> List[int]:
+    """Set-bit positions, ascending (== ``sorted()`` of the old set)."""
+    out: List[int] = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return out
+
+
+def bit_tuple(mask: int) -> Tuple[int, ...]:
+    """Tuple form of :func:`bit_list` (fan-out target lists)."""
+    return tuple(bit_list(mask))

@@ -22,7 +22,10 @@ from repro.core.udpointer import recompute_ud
 from repro.network.message import Message
 from repro.sim.config import PUNOConfig
 from repro.sim.engine import Simulator
-from repro.sim.stats import Stats
+from repro.sim.stats import (DECLINE_COMMITTING, DECLINE_DISABLED,
+                             DECLINE_NO_TAG, DECLINE_REQUESTER_OLDER,
+                             DECLINE_SHORT_NACKER, DECLINE_UD_NONE,
+                             Stats)
 
 
 class DirectoryPUNO:
@@ -76,18 +79,18 @@ class DirectoryPUNO:
         The prediction fires only when the entry's UD pointer names a
         current sharer whose (fresh) priority beats the requester's.
         """
-        declines = self.stats.puno_declines
+        declines = self.stats._puno_decline_counts
         if not self.config.unicast_enabled:
-            declines["disabled"] += 1
+            declines[DECLINE_DISABLED] += 1
             return None
         tag = msg.tx
         if tag is None:
-            declines["no_tag"] += 1
+            declines[DECLINE_NO_TAG] += 1
             return None
         if msg.committing:
             # lazy commit-time publications always win; probing them
             # away would only delay the committer
-            declines["committing"] += 1
+            declines[DECLINE_COMMITTING] += 1
             return None
         ud = entry.ud
         if not self._ud_valid(entry, ud, targets):
@@ -100,13 +103,13 @@ class DirectoryPUNO:
                        else None)
             ud = recompute_ud(targets, self.pbuffer, readers, self.sim.now)
             if ud is None:
-                declines["ud_none"] += 1
+                declines[DECLINE_UD_NONE] += 1
                 return None
         hint = self.pbuffer.length(ud)
         if 0 < hint < self.config.min_nacker_length:
             # Probe cost/benefit: a nacker shorter than the probe's own
             # round trip cannot pay for the unicast detour.
-            declines["short_nacker"] += 1
+            declines[DECLINE_SHORT_NACKER] += 1
             return None
         key = self.pbuffer.key(ud)
         if key is not None and key < (tag.timestamp, tag.node):
@@ -116,7 +119,7 @@ class DirectoryPUNO:
                     target=ud, requester=tag.node, req_ts=tag.timestamp,
                     target_ts=key[0])
             return ud
-        declines["requester_older"] += 1
+        declines[DECLINE_REQUESTER_OLDER] += 1
         return None
 
     def _ud_valid(self, entry, ud: Optional[int],
@@ -159,7 +162,7 @@ class DirectoryPUNO:
         return max(c.min_timeout, min(period, c.max_timeout))
 
     def _schedule_timeout(self) -> None:
-        self.sim.schedule(self._timeout_period(), self._on_timeout)
+        self.sim.call_later(self._timeout_period(), self._on_timeout)
 
     def _on_timeout(self) -> None:
         if not self._active:

@@ -50,12 +50,16 @@ class TxLB:
 
     def average_length(self, static_id: int) -> Optional[int]:
         """Current estimate, or None when the transaction is unseen."""
-        v = self._get(static_id)
-        if v is None:
-            return None
-        if static_id in self._hw:
-            self._hw.move_to_end(static_id)
-        return int(v)
+        # Called once per issued transactional request: one dict probe
+        # on the hardware table (plus the LRU touch) instead of the
+        # two-step _get/membership dance.
+        hw = self._hw
+        v = hw.get(static_id)
+        if v is not None:
+            hw.move_to_end(static_id)
+            return int(v)
+        v = self._soft.get(static_id)
+        return None if v is None else int(v)
 
     def estimate_remaining(self, static_id: int, elapsed: int) -> int:
         """T_est for the notification: remaining run time in cycles.

@@ -39,7 +39,8 @@ def _local_wins(local: Transaction, req: Optional[TxTag]) -> bool:
         return True  # a publishing lazy committer is unassailable
     if req is None:
         return True  # transactions always beat non-transactional requests
-    return local.tag().older_than(req)
+    # Tuple compare in place, no TxTag allocation per probe.
+    return (local.timestamp, local.node) < (req.timestamp, req.node)
 
 
 def check_fwd_getx(tx: Optional[Transaction], addr: int,

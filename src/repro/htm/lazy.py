@@ -100,7 +100,7 @@ class LazyNodeController(NodeController):
         return True
 
     def _begin_attempt(self) -> None:
-        self._write_buffer = {}
+        self._write_buffer.clear()
         self._publishing = False
         super()._begin_attempt()
 
@@ -190,8 +190,8 @@ class LazyNodeController(NodeController):
     def _apply_publish(self, addr: int, line) -> None:
         line.value += self._write_buffer[addr]
         self._publish_queue.pop(0)
-        self.sim.schedule(self.config.cache.hit_latency,
-                          self._publish_next)
+        self.sim.call_later(self.config.cache.hit_latency,
+                            self._publish_next)
 
     def _finish_publish(self) -> None:
         tx = self.tx
@@ -212,7 +212,7 @@ class LazyNodeController(NodeController):
                 reads=len(tx.read_set), writes=len(tx.write_set))
         self.cm.on_commit(self.node, dyn_len)
         self.tx = None
-        self._write_buffer = {}
+        self._write_buffer.clear()
         self._instance = None
         self._next_item()
 
@@ -270,7 +270,7 @@ class LazyNodeController(NodeController):
             # no undo log to restore: clear the buffer and fall through
             # to the shared bookkeeping with an empty log
             tx.undo_log.clear()
-            self._write_buffer = {}
+            self._write_buffer.clear()
         super()._self_abort(cause)
 
 

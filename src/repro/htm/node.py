@@ -89,6 +89,25 @@ class NodeController:
         # stale responses are counted and dropped instead of asserting.
         self.fault_tolerant = False
 
+        # Hot-path specializations: the RMW-predictor hooks are pure
+        # no-ops on most contention managers — resolve that once here so
+        # per-access sites pay a None check instead of a method call.
+        cm_cls = type(cm)
+        base = ContentionManager
+        self._train_load = (cm.train_load
+                            if cm_cls.train_load is not base.train_load
+                            else None)
+        self._train_store = (cm.train_store
+                             if cm_cls.train_store is not base.train_store
+                             else None)
+        self._predict_excl = (
+            cm.predict_exclusive_load
+            if cm_cls.predict_exclusive_load is not base.predict_exclusive_load
+            else None)
+        # Per-access config scalars, hoisted out of the op loop.
+        self._hit_latency = config.cache.hit_latency
+        self._num_nodes = config.num_nodes
+
         self.l1 = L1Cache(config.cache)
         self.mshr: Optional[Mshr] = None
         self.wb_buffer: Dict[int, int] = {}  # limbo: addr -> dirty value
@@ -134,7 +153,7 @@ class NodeController:
     # program execution
     # ==================================================================
     def start(self) -> None:
-        self.sim.schedule(0, self._next_item)
+        self.sim.call_later(0, self._next_item)
 
     def _next_item(self) -> None:
         if self._item_idx >= len(self.program):
@@ -146,7 +165,7 @@ class NodeController:
         item = self.program[self._item_idx]
         self._item_idx += 1
         if isinstance(item, Gap):
-            self.sim.schedule(item.cycles, self._next_item)
+            self.sim.call_later(item.cycles, self._next_item)
         elif isinstance(item, NonTxOp):
             self._op_retries = 0
             self._pending = self.sim.schedule(item.think, self._access_op, item)
@@ -275,7 +294,7 @@ class NodeController:
         if self.mshr is None and self._pending is not None:
             self._pending.cancel()
             self._pending = None
-            self.sim.schedule(0, self._maybe_handle_abort, tx)
+            self.sim.call_later(0, self._maybe_handle_abort, tx)
 
     def _maybe_handle_abort(self, doomed_tx: Transaction) -> None:
         if self.tx is doomed_tx and doomed_tx.doomed:
@@ -327,34 +346,38 @@ class NodeController:
             return
         line = self.l1.lookup(addr)
         if op.is_write:
-            if line is not None and line.state in (L1State.E, L1State.M):
+            if line is not None and line.state >= 2:  # writable: E/M
                 line.state = L1State.M  # silent E -> M upgrade
                 self._apply_write(op, line)
                 self._finish_op(op)
             else:
                 self._issue(op, exclusive=True)
         else:
-            if line is not None and line.state.readable:
+            if line is not None and line.state > 0:  # readable: S/E/M
                 self._apply_read(op, line)
                 self._finish_op(op)
             else:
                 exclusive = bool(
-                    is_tx_op
-                    and self.cm.predict_exclusive_load(self.node, op.pc)
+                    is_tx_op and self._predict_excl is not None
+                    and self._predict_excl(self.node, op.pc)
                 )
                 self._issue(op, exclusive=exclusive)
 
     def _apply_read(self, op, line) -> None:
         if isinstance(op, TxOp) and self.tx is not None:
-            self.tx.record_read(line.addr)
-            self.l1.pin(line.addr, level=1)
-            self.cm.train_load(self.node, op.pc, line.addr)
+            addr = line.addr
+            self.tx.record_read(addr)
+            self.l1.pin(addr, level=1)
+            if self._train_load is not None:
+                self._train_load(self.node, op.pc, addr)
 
     def _apply_write(self, op, line) -> None:
         if isinstance(op, TxOp) and self.tx is not None:
-            self.tx.record_write(line.addr, line.value)
-            self.l1.pin(line.addr, level=2)
-            self.cm.train_store(self.node, line.addr)
+            addr = line.addr
+            self.tx.record_write(addr, line.value)
+            self.l1.pin(addr, level=2)
+            if self._train_store is not None:
+                self._train_store(self.node, addr)
             line.value += 1
             self._attempt_increments += 1
         else:
@@ -362,7 +385,7 @@ class NodeController:
             self.committed_increments += 1
 
     def _finish_op(self, op) -> None:
-        delay = self.config.cache.hit_latency
+        delay = self._hit_latency
         if isinstance(op, TxOp):
             self._op_idx += 1
             self._pending = self.sim.schedule(delay, self._run_op)
@@ -377,16 +400,17 @@ class NodeController:
         addr = op.addr
         is_tx_op = isinstance(op, TxOp)
         tag: Optional[TxTag] = None
-        if is_tx_op and self.tx is not None:
-            hint = self.txlb.average_length(self.tx.static_id) or 0
-            tag = self.tx.tag(length_hint=hint)
+        tx = self.tx
+        if is_tx_op and tx is not None:
+            hint = self.txlb.average_length(tx.static_id) or 0
+            tag = TxTag(tx.node, tx.timestamp, tx.static_id, hint)
         req_id = next(self._req_seq)
         self.mshr = Mshr(req_id, addr, op, exclusive, tag is not None,
                          self.sim.now)
         mtype = MessageType.GETX if exclusive else MessageType.GETS
-        msg = Message(mtype, addr, self.node, self.config.home_node(addr),
+        msg = Message(mtype, addr, self.node, addr % self._num_nodes,
                       requester=self.node, req_id=req_id, tx=tag)
-        self.network.send(msg, extra_delay=self.config.cache.hit_latency)
+        self.network.send(msg, extra_delay=self._hit_latency)
 
     def _retry(self, op) -> None:
         self._pending = None
@@ -422,12 +446,13 @@ class NodeController:
                 f"stale response {msg} at node {self.node}")
         if self.san is not None:
             self.san.check_ubit_response(self, msg)
-        if msg.mtype in (MessageType.DATA, MessageType.DATA_EXCL,
-                         MessageType.GRANT):
+        mtype = msg.mtype
+        if MessageType.DATA <= mtype <= MessageType.GRANT:
+            # DATA..GRANT are contiguous codes (pinned by test_hotpath).
             m.grant = msg
             if m.expected is None or msg.terminal:
                 m.expected = 0 if msg.terminal else msg.acks_expected
-        elif msg.mtype is MessageType.ACK:
+        elif mtype is MessageType.ACK:
             m.acks += 1
             if msg.aborted:
                 m.aborted_acks += 1
@@ -436,7 +461,7 @@ class NodeController:
             self.nstats.nacks_received += 1
         # completion checks
         if msg.terminal:
-            self._complete(m, success=msg.mtype is not MessageType.NACK,
+            self._complete(m, success=mtype is not MessageType.NACK,
                            terminal_msg=msg)
         elif m.grant is not None and m.acks + len(m.nacks) >= (m.expected or 0):
             self._complete(m, success=not m.nacks, terminal_msg=None)
@@ -471,7 +496,7 @@ class NodeController:
         if needs_unblock:
             mp_node = m.mp_node()
             unblock = make_unblock(
-                m.addr, self.node, self.config.home_node(m.addr), m.req_id,
+                m.addr, self.node, m.addr % self._num_nodes, m.req_id,
                 success=success, survivors=tuple(n.src for n in m.nacks),
                 mp_bit=mp_node >= 0, mp_node=mp_node,
             )
@@ -570,7 +595,7 @@ class NodeController:
             self.stats.capacity_aborts += 1
             self._self_abort("capacity")
             line, evicted = self.l1.install(addr, state, value)
-        if evicted is not None and evicted.state in (L1State.E, L1State.M):
+        if evicted is not None and evicted.state >= 2:  # dirty-capable: E/M
             self._writeback(evicted)
         return line
 
@@ -583,7 +608,7 @@ class NodeController:
         if sticky and self.tx is not None and self.tx.active:
             tag = self.tx.tag()
         put = Message(MessageType.PUT, line.addr, self.node,
-                      self.config.home_node(line.addr),
+                      line.addr % self._num_nodes,
                       requester=self.node, req_id=next(self._req_seq),
                       value=line.value, sticky=sticky, tx=tag)
         self.network.send(put)
@@ -645,7 +670,8 @@ class NodeController:
                           and tx is not None and tx.active
                           and addr in self._prev_footprint
                           and msg.tx is not None
-                          and tx.tag().older_than(msg.tx))
+                          and (tx.timestamp, tx.node)
+                          < (msg.tx.timestamp, msg.tx.node))
             if will_touch:
                 dec = Decision.NACK
             mp = dec is not Decision.NACK

@@ -29,8 +29,9 @@ class Transaction:
 
     __slots__ = (
         "node", "static_id", "instance_id", "timestamp", "read_set",
-        "write_set", "undo_log", "status", "attempt_start", "attempt",
-        "abort_cause", "stall_cycles", "committing",
+        "write_set", "undo_log", "_status", "active", "doomed",
+        "attempt_start", "attempt", "abort_cause", "stall_cycles",
+        "committing",
     )
 
     def __init__(self, node: int, static_id: int, instance_id: int,
@@ -42,7 +43,12 @@ class Transaction:
         self.read_set: Set[int] = set()
         self.write_set: Set[int] = set()
         self.undo_log: Dict[int, int] = {}  # addr -> pre-tx value
-        self.status = TxStatus.RUNNING
+        # ``active``/``doomed`` are plain bools (checked on every
+        # memory op and every forwarded probe); the ``status`` property
+        # keeps them in sync for the rare lifecycle writes.
+        self._status = TxStatus.RUNNING
+        self.active = True
+        self.doomed = False
         self.attempt_start = start_cycle
         self.attempt = attempt
         self.abort_cause: Optional[str] = None
@@ -77,17 +83,21 @@ class Transaction:
         return addr in self.write_set
 
     @property
-    def active(self) -> bool:
-        return self.status is TxStatus.RUNNING
+    def status(self) -> TxStatus:
+        return self._status
 
-    @property
-    def doomed(self) -> bool:
-        return self.status is TxStatus.DOOMED
+    @status.setter
+    def status(self, value: TxStatus) -> None:
+        self._status = value
+        self.active = value is TxStatus.RUNNING
+        self.doomed = value is TxStatus.DOOMED
 
     def doom(self, cause: str) -> None:
         """Mark the transaction as aborting (recovery happens later)."""
-        assert self.status is TxStatus.RUNNING
-        self.status = TxStatus.DOOMED
+        assert self._status is TxStatus.RUNNING
+        self._status = TxStatus.DOOMED
+        self.active = False
+        self.doomed = True
         self.abort_cause = cause
 
     def footprint(self) -> int:

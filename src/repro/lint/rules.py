@@ -18,6 +18,10 @@ Scopes
 * ``hot-path`` — modules whose objects are allocated or touched per
   message/event (everything under ``network/``, ``sim/`` and
   ``coherence/``);
+* ``event-path`` — the named modules whose *functions* execute once
+  per message or event (the engine loop, send/deliver, the protocol
+  handlers): per-event allocation and str-keyed counting are flagged
+  there;
 * ``orchestration`` — code that supervises long runs (``analysis/``
   and ``sim/``): a silently swallowed exception there turns a crashed
   sweep cell or a corrupted cache entry into quietly wrong results.
@@ -70,6 +74,14 @@ RULES: Tuple[Rule, ...] = (
     Rule("dataclass-slots", "hot-path",
          "hot-path dataclasses must declare slots (slots=True or "
          "__slots__); per-instance dicts cost allocation and lookups"),
+    Rule("str-key-count", "event-path",
+         "per-event counter accumulation through a str subscript "
+         "(x['name'] += n); accumulate into a dense int-coded array "
+         "and fold to names at the snapshot boundary"),
+    Rule("event-alloc", "event-path",
+         "dict/set literal or comprehension built inside a per-event "
+         "function; allocate once (e.g. in __init__) and reuse/.clear(), "
+         "or hoist the construction out of the event path"),
     Rule("swallowed-error", "orchestration",
          "broad except handler (Exception/BaseException/bare) whose "
          "body only passes: log, count, or re-raise instead"),
@@ -88,11 +100,32 @@ PICKLE_BOUNDARY_FILES = ("analysis/parallel.py", "sim/resultcache.py")
 
 HOT_PATH_PREFIXES = ("network/", "sim/", "coherence/")
 
+# Modules whose functions run once per message/event.  Explicit file
+# list, not a prefix: the snapshot/report boundary (sim/stats.py) and
+# orchestration code legitimately build dicts and str-keyed views.
+EVENT_PATH_FILES = (
+    "network/network.py", "network/message.py", "network/topology.py",
+    "sim/engine.py",
+    "coherence/cache.py", "coherence/directory.py", "coherence/states.py",
+    "htm/node.py", "htm/conflict.py", "htm/lazy.py", "htm/transaction.py",
+    "core/puno.py", "core/pbuffer.py", "core/txlb.py", "core/bitset.py",
+    "core/udpointer.py",
+)
+
+# Functions where one-time allocation is expected (construction and
+# (de)serialization boundaries); the event-alloc rule skips these.
+EVENT_ALLOC_EXEMPT_FUNCS = frozenset({
+    "__init__", "__new__", "__post_init__", "__getstate__",
+    "__setstate__", "__repr__",
+})
+
 ORCHESTRATION_PREFIXES = ("analysis/", "sim/")
 
 # Attributes that are known to be set-typed in this codebase; iterating
-# them directly is flagged by set-iteration.
-KNOWN_SET_ATTRS = frozenset({"sharers", "read_set", "write_set"})
+# them directly is flagged by set-iteration.  (``sharers`` left this
+# list when DirEntry switched to an int bitmask — bit order is
+# deterministic, and repro.core.bitset iterates ascending.)
+KNOWN_SET_ATTRS = frozenset({"read_set", "write_set"})
 
 # Calls through which consuming a set is order-safe.
 ORDER_SAFE_CONSUMERS = frozenset({
@@ -134,6 +167,7 @@ def active_rules(relpath: Optional[str]) -> Set[str]:
                 or relpath in SIM_PATH_FILES)
     pickle_boundary = relpath in PICKLE_BOUNDARY_FILES
     hot_path = relpath.startswith(HOT_PATH_PREFIXES)
+    event_path = relpath in EVENT_PATH_FILES
     orchestration = relpath.startswith(ORCHESTRATION_PREFIXES)
     out: Set[str] = set()
     for r in RULES:
@@ -144,6 +178,8 @@ def active_rules(relpath: Optional[str]) -> Set[str]:
         elif r.scope == "pickle-boundary" and pickle_boundary:
             out.add(r.id)
         elif r.scope == "hot-path" and hot_path:
+            out.add(r.id)
+        elif r.scope == "event-path" and event_path:
             out.add(r.id)
         elif r.scope == "orchestration" and orchestration:
             out.add(r.id)
@@ -219,6 +255,7 @@ class FileChecker(ast.NodeVisitor):
         # namespace per (nested) function scope, module scope at [0]
         self._set_names: List[Set[str]] = [set()]
         self._func_depth = 0
+        self._func_names: List[str] = []
 
     def run(self) -> List[Violation]:
         self.visit(self.tree)
@@ -262,9 +299,11 @@ class FileChecker(ast.NodeVisitor):
                        f"process-boundary module cannot be pickled; "
                        f"hoist it to module level")
         self._func_depth += 1
+        self._func_names.append(node.name)
         self._set_names.append(set())
         self.generic_visit(node)
         self._set_names.pop()
+        self._func_names.pop()
         self._func_depth -= 1
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -323,10 +362,48 @@ class FileChecker(ast.NodeVisitor):
 
     def visit_SetComp(self, node) -> None:
         self._check_comp(node)
+        self._check_event_alloc(node, "set comprehension")
         self.generic_visit(node)
 
     def visit_DictComp(self, node) -> None:
         self._check_comp(node)
+        self._check_event_alloc(node, "dict comprehension")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # per-event allocation (event-path modules)
+    # ------------------------------------------------------------------
+    def _check_event_alloc(self, node: ast.AST, kind: str) -> None:
+        if (self._func_names
+                and self._func_names[-1] not in EVENT_ALLOC_EXEMPT_FUNCS):
+            self._emit(node, "event-alloc",
+                       f"{kind} built inside {self._func_names[-1]!r}; "
+                       f"per-event code should allocate once and "
+                       f"reuse/.clear() (hoist to __init__), or disable "
+                       f"with a rationale if this path is cold")
+
+    def visit_Set(self, node: ast.Set) -> None:
+        self._check_event_alloc(node, "set literal")
+        self.generic_visit(node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        self._check_event_alloc(node, "dict literal")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # str-keyed counter accumulation (event-path modules)
+    # ------------------------------------------------------------------
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        if (isinstance(target, ast.Subscript)
+                and isinstance(target.slice, ast.Constant)
+                and isinstance(target.slice.value, str)):
+            self._emit(node, "str-key-count",
+                       f"counter keyed by str {target.slice.value!r} in "
+                       f"per-event code; hash-per-event is the cost the "
+                       f"dense int-coded accumulators exist to avoid — "
+                       f"index by code and fold to names at the "
+                       f"snapshot boundary")
         self.generic_visit(node)
 
     def visit_GeneratorExp(self, node) -> None:

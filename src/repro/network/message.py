@@ -27,46 +27,53 @@ the redundant fields (a response's ``requester`` *is* its destination;
 an UNBLOCK's ``requester`` is its source) and construct fully
 positionally.
 
-:class:`MessageType` pins ``__hash__`` to the identity hash: enum
-members are singletons, so hashing by id is exact — and C-level, which
-matters because every send and every dispatch-table lookup hashes a
-``MessageType``.
+:class:`MessageType` is an ``IntEnum`` with dense codes (0..12): a
+member *is* its array index, so hot paths accumulate stats with
+``counts[msg.mtype] += 1`` and dispatch through flat per-code tables
+instead of hashing strings or enum objects.  The string view lives in
+``MessageType.name`` and is reconstructed only at snapshot/trace
+boundaries via :data:`MSG_TYPE_NAMES`.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass
-from typing import FrozenSet, Optional, Tuple
+from typing import FrozenSet, NamedTuple, Optional, Tuple
 
 
-class MessageType(enum.Enum):
+class MessageType(enum.IntEnum):
+    # Codes are dense array indices — append only, never renumber:
+    # every Stats/trace decode table is built from this ordering.
     # requests to the home directory
-    GETS = "GETS"
-    GETX = "GETX"  # also covers S->M upgrades (needs_data=False)
-    PUT = "PUT"  # writeback of a dirty (M) line
+    GETS = 0
+    GETX = 1  # also covers S->M upgrades (needs_data=False)
+    PUT = 2  # writeback of a dirty (M) line
 
     # directory -> sharer/owner forwards
-    FWD_GETS = "FWD_GETS"
-    FWD_GETX = "FWD_GETX"  # doubles as the invalidation to S sharers
+    FWD_GETS = 3
+    FWD_GETX = 4  # doubles as the invalidation to S sharers
 
-    # responses
-    DATA = "DATA"  # data grant (shared)
-    DATA_EXCL = "DATA_EXCL"  # data grant (exclusive/modified)
-    GRANT = "GRANT"  # data-less exclusive grant (upgrade: requester has S)
-    ACK = "ACK"  # sharer invalidated (possibly after self-abort)
-    NACK = "NACK"  # conflict: request refused
+    # responses (DATA..GRANT are contiguous so the MSHR's
+    # "data-or-grant" test is one range check on the int code)
+    DATA = 5  # data grant (shared)
+    DATA_EXCL = 6  # data grant (exclusive/modified)
+    GRANT = 7  # data-less exclusive grant (upgrade: requester has S)
+    ACK = 8  # sharer invalidated (possibly after self-abort)
+    NACK = 9  # conflict: request refused
 
     # completion
-    UNBLOCK = "UNBLOCK"  # requester -> directory, releases the entry
-    PUT_ACK = "PUT_ACK"  # directory acknowledges a writeback
-    WB_DATA = "WB_DATA"  # owner -> directory data on downgrade
+    UNBLOCK = 10  # requester -> directory, releases the entry
+    PUT_ACK = 11  # directory acknowledges a writeback
+    WB_DATA = 12  # owner -> directory data on downgrade
 
-    # Members are singletons: identity hash is exact and C-level,
-    # unlike enum's default name-based Python __hash__.
-    __hash__ = object.__hash__
 
+#: Dense code count — sizes every per-type accumulator array.
+N_MESSAGE_TYPES = len(MessageType)
+
+#: Code -> canonical name, for folding int-indexed accumulators back
+#: into the str-keyed snapshot/trace view.
+MSG_TYPE_NAMES: Tuple[str, ...] = tuple(t.name for t in MessageType)
 
 # Flit sizing: data-bearing messages carry the 64 B line.
 DATA_TYPES: FrozenSet[MessageType] = frozenset(
@@ -75,8 +82,7 @@ DATA_TYPES: FrozenSet[MessageType] = frozenset(
 CONTROL_TYPES: FrozenSet[MessageType] = frozenset(set(MessageType) - set(DATA_TYPES))
 
 
-@dataclass(frozen=True, slots=True)
-class TxTag:
+class TxTag(NamedTuple):
     """Transactional identity carried by coherence requests.
 
     ``timestamp`` is the time-based priority (smaller = older = higher
@@ -84,6 +90,12 @@ class TxTag:
     static-transaction length estimate; directories fold it into their
     adaptive rollover-timeout period (the paper's "hardware mechanism"
     for average transaction length).
+
+    A ``NamedTuple`` rather than a frozen dataclass: one tag is built
+    per issued request, and tuple construction is a single C call where
+    the generated frozen-dataclass ``__init__`` pays four
+    ``object.__setattr__`` round trips.  Immutability, equality, and
+    hashing carry over unchanged.
     """
 
     node: int
@@ -188,7 +200,7 @@ class Message:
         if self.t_est >= 0:
             extra += f" Test={self.t_est}"
         return (
-            f"<{self.mtype.value} addr={self.addr} {self.src}->{self.dst}"
+            f"<{self.mtype.name} addr={self.addr} {self.src}->{self.dst}"
             f" req={self.requester}#{self.req_id}{extra}>"
         )
 
@@ -268,7 +280,7 @@ def field_violations(msg: Message) -> list:
     )
     for name, present in set_fields:
         if present and t not in _FIELD_CARRIERS[name]:
-            problems.append(f"{name} set on {t.value}")
+            problems.append(f"{name} set on {t.name}")
     if msg.mp_node >= 0 and not msg.mp_bit:
         problems.append("mp_node named without the MP-bit")
     if msg.mp_bit and t is MessageType.UNBLOCK and msg.mp_node < 0:

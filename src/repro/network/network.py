@@ -9,37 +9,44 @@ Hot-path notes
 --------------
 
 ``send`` runs once per coherence message — it is the hottest function
-in the simulator.  Three things keep it lean:
+in the simulator.  Four things keep it lean:
 
 * all per-(src, dst) route/latency/traversal quantities come from the
   precomputed :class:`repro.network.topology.Mesh` tables (flat lists
   indexed ``src * n + dst``) instead of per-message route walks;
-* per-type constants (flit count, stat key) are precomputed into
-  ``_msgmeta`` so the path neither branches on ``DATA_TYPES``
-  membership nor touches the slow ``Enum.name`` descriptor;
+* everything keyed by message type indexes flat lists with the dense
+  ``MessageType`` int code — flit counts (``_msg_flits``), the stats
+  accumulator (``Stats._msg_counts``), and the delivery handler itself
+  (``_handlers[dst * N + code]``), so the path neither hashes enum
+  objects nor branches on ``DATA_TYPES`` membership;
+* delivery schedules the destination's per-type bound handler directly
+  (via the Event-free ``Simulator.call_later`` — deliveries are never
+  cancelled), so delivery costs zero intermediate Python calls;
 * the sanitizer check is hoisted out entirely: assigning ``san``
   switches the instance between ``_send_fast`` and ``_send_full`` (the
   same shadowing trick ``engine.run`` uses for ``post_event``), so
   unsanitized runs never test ``san is None`` per message.
-
-Delivery is scheduled directly on the destination's registered handler
-— there is no intermediate ``_deliver`` hop on the hot path.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from heapq import heappush
 
-from repro.network.message import Message, MessageType
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+from repro.network.message import DATA_TYPES, Message, MessageType, \
+    N_MESSAGE_TYPES
 from repro.network.topology import Mesh
 from repro.sim.engine import Simulator
-from repro.sim.stats import Stats
+
+if TYPE_CHECKING:  # Stats imports message's code tables: import only
+    from repro.sim.stats import Stats  # for annotations to avoid a cycle
 
 
 class Network:
     """Analytic-latency mesh interconnect."""
 
-    def __init__(self, sim: Simulator, mesh: Mesh, stats: Stats,
+    def __init__(self, sim: Simulator, mesh: Mesh, stats: "Stats",
                  config=None):
         self.sim = sim
         self.mesh = mesh
@@ -47,19 +54,23 @@ class Network:
         # flit geometry comes from the mesh's NetworkConfig
         self._control_flits = mesh.config.control_flits
         self._data_flits = mesh.config.data_flits
-        # per-type (flits, stat key): avoids DATA_TYPES membership tests
-        # and Enum.name descriptor lookups per message
+        # per-code flit count: one list index instead of a DATA_TYPES
+        # membership test per message
         cf, df = self._control_flits, self._data_flits
-        self._msgmeta = {
-            t: (df if t.name in ("DATA", "DATA_EXCL", "PUT", "WB_DATA")
-                else cf, t.name)
-            for t in MessageType
-        }
+        self._msg_flits: List[int] = [df if t in DATA_TYPES else cf
+                                      for t in MessageType]
         self._n = mesh.num_nodes
         # pre-bound hot references: one load each per send
-        self._schedule = sim.schedule
+        self._schedule = sim.call_later  # cold paths / introspection
         self._mesh_lat = mesh._lat
         self._mesh_trav = mesh._trav
+        self._msg_counts = stats._msg_counts
+        # Flat dispatch: handler for (dst, type) at [dst * N + code].
+        # Registered tables route each type straight to the owning
+        # controller's bound handler; single-callable registrations
+        # (tests, harnesses) fan the one callable across all codes.
+        self._handlers: List[Optional[Callable[[Message], None]]] = \
+            [None] * (self._n * N_MESSAGE_TYPES)
         self._endpoints: Dict[int, Callable[[Message], None]] = {}
         self._san = None  # Optional[ProtocolSanitizer]
         self.send = self._send_fast
@@ -83,9 +94,22 @@ class Network:
         self.send = self._send_full if sanitizer is not None else self._send_fast
 
     def register(self, node: int, handler: Callable[[Message], None]) -> None:
+        """Register one callable for every message type at ``node``."""
+        self.register_table(node, [handler] * N_MESSAGE_TYPES)
+
+    def register_table(self, node: int,
+                       table: Sequence[Callable[[Message], None]]) -> None:
+        """Register a per-type handler table (dense code order) for
+        ``node`` — delivery dispatches straight to ``table[code]``."""
         if node in self._endpoints:
             raise ValueError(f"endpoint {node} already registered")
-        self._endpoints[node] = handler
+        if len(table) != N_MESSAGE_TYPES:
+            raise ValueError(f"endpoint table for node {node} has "
+                             f"{len(table)} entries, need {N_MESSAGE_TYPES}")
+        base = node * N_MESSAGE_TYPES
+        for code, handler in enumerate(table):
+            self._handlers[base + code] = handler
+        self._endpoints[node] = lambda msg, _t=tuple(table): _t[msg.mtype](msg)
 
     def _send_fast(self, msg: Message, extra_delay: int = 0) -> None:
         """Inject ``msg``; it is delivered after the DOR path latency.
@@ -93,25 +117,37 @@ class Network:
         ``extra_delay`` models source-side occupancy (e.g. directory
         lookup) without charging it to the network.
         """
-        # Endpoint lookup first: it doubles as the dst-validity check
+        mtype = msg.mtype
+        dst = msg.dst
+        # Handler lookup first: it doubles as the dst-validity check
         # guarding the flat-table indexings below.
-        handler = self._endpoints.get(msg.dst)
+        if not 0 <= dst < self._n:
+            raise KeyError(f"no endpoint registered for node {dst}")
+        handler = self._handlers[dst * N_MESSAGE_TYPES + mtype]
         if handler is None:
-            raise KeyError(f"no endpoint registered for node {msg.dst}")
-        flits, tname = self._msgmeta[msg.mtype]
-        idx = msg.src * self._n + msg.dst
+            raise KeyError(f"no endpoint registered for node {dst}")
+        flits = self._msg_flits[mtype]
+        idx = msg.src * self._n + dst
         stats = self.stats
         stats.flits_injected += flits
         stats.flit_router_traversals += self._mesh_trav[idx] * flits
         self._pair_flits[idx] += flits
-        stats.messages_by_type[tname] += 1
+        self._msg_counts[mtype] += 1
         self.messages_sent += 1
         if stats.tracer is not None:
             stats.tracer.emit(
-                "msg", self.sim.now, type=msg.mtype.value, addr=msg.addr,
-                src=msg.src, dst=msg.dst, req=msg.requester,
+                "msg", self.sim.now, type=mtype.name, addr=msg.addr,
+                src=msg.src, dst=dst, req=msg.requester,
                 u=msg.u_bit, mp=msg.mp_bit)
-        self._schedule(self._mesh_lat[idx] + extra_delay, handler, msg)
+        # Inlined ``sim.call_later`` — deliveries are the dominant
+        # event source, so the scheduling call is flattened into the
+        # heap push itself (delays here are always non-negative ints).
+        sim = self.sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        sim._live += 1
+        heappush(sim._heap, (sim.now + self._mesh_lat[idx] + extra_delay,
+                             seq, None, handler, (msg,)))
 
     def _send_full(self, msg: Message, extra_delay: int = 0) -> None:
         """``_send_fast`` plus the per-message sanitizer check."""

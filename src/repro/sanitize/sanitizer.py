@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.coherence.states import DirState, L1State
+from repro.core.bitset import bit_list
 from repro.htm.conflict import Decision
 from repro.network.message import Message, field_violations
 from repro.sanitize.violations import SanitizerViolation
@@ -134,11 +135,12 @@ class ProtocolSanitizer:
                 self._fail("mesi-single-owner",
                            f"directory S but E/M copy at node "
                            f"{owners[0]}", addr=addr)
-            missing = [n for n in sharers if n not in entry.sharers]
+            mask = entry.sharers  # integer bitmask, bit n = node n
+            missing = [n for n in sharers if not (mask >> n) & 1]
             if missing:
                 self._fail("dir-sharers",
                            f"S holders {missing} missing from sharer "
-                           f"list {sorted(entry.sharers)}", addr=addr)
+                           f"list {bit_list(mask)}", addr=addr)
         else:  # DirState.I
             cached = owners + sharers
             if cached:
@@ -255,7 +257,7 @@ class ProtocolSanitizer:
         self.stats.sanitizer_checks += 1
         if msg.u_bit and msg.mtype.name != "NACK":
             self._fail("ubit-ack",
-                       f"{msg.mtype.value} response carries the U-bit "
+                       f"{msg.mtype.name} response carries the U-bit "
                        f"(unicast probes must be NACKed)",
                        node=node.node, addr=msg.addr)
 
@@ -312,7 +314,7 @@ class ProtocolSanitizer:
         problems = field_violations(msg)
         if problems:
             self._fail("message-fields",
-                       f"{msg.mtype.value} {msg.src}->{msg.dst}: "
+                       f"{msg.mtype.name} {msg.src}->{msg.dst}: "
                        + "; ".join(problems), addr=msg.addr)
 
     def check_undo_log(self, node, tx) -> None:

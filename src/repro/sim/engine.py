@@ -10,10 +10,22 @@ enough for multi-million-event runs in pure Python.
 Hot-path notes
 --------------
 
-* Heap entries are ``(time, seq, Event)`` tuples, not bare events:
+* Heap entries are ``(time, seq, event_or_None, fn, args)`` tuples:
   heap sifts compare tuples element-wise in C and — because ``seq`` is
-  unique — never fall through to the Event object, eliminating the
-  Python-level ``__lt__`` calls that used to dominate push/pop cost.
+  unique — never fall through to the later elements, and the run loop
+  unpacks the callback straight out of the tuple without touching any
+  Python attribute.
+* :meth:`Simulator.call_later` schedules a callback with *no* Event
+  object at all (the third tuple slot is ``None``).  Callers that never
+  cancel — message delivery, directory wakeups — skip one object
+  allocation per event, which is the bulk of all events in a run.
+* The run loop processes same-cycle deliveries as a batch: the clock is
+  committed once per *timestamp*, not once per event, and in limited
+  runs the ``until`` horizon is checked once per timestamp too.  Events
+  stay in the heap until the instant they execute, so cancellation,
+  live-event accounting (the watchdog's quiescence check), and
+  exception unwinding all keep their obvious semantics — a batch is a
+  property of the dispatch order, not a side buffer.
 * The engine tracks the number of *live* (non-cancelled) queued events,
   so :meth:`Simulator.idle` is O(1) instead of an O(n) heap scan.
 * Cancelled events normally stay in the heap until they surface at the
@@ -41,14 +53,21 @@ _VALIDATE = __debug__ and os.environ.get("REPRO_ENGINE_FAST", "0") != "1"
 # there are at least this many of them (avoids churn on tiny heaps).
 _PURGE_FLOOR = 64
 
+# Budget sentinel for run(max_events=None): large enough that no run
+# can exhaust it, so the loop needs no per-event None check.
+_NO_BUDGET = 1 << 62
+
 
 class Event:
-    """A scheduled callback.
+    """A cancellation handle for a scheduled callback.
 
     Events are comparable by ``(time, seq)`` which gives deterministic
     FIFO ordering among events scheduled for the same cycle.  The heap
-    itself stores ``(time, seq, event)`` tuples so sift comparisons
-    resolve on the leading ints without calling back into Python.
+    itself stores ``(time, seq, event, fn, args)`` tuples so sift
+    comparisons resolve on the leading ints without calling back into
+    Python, and the run loop dispatches from the tuple — the Event
+    object only carries the ``cancelled`` flag and the live-count
+    backref.
     """
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
@@ -87,11 +106,15 @@ class Event:
 class Simulator:
     """Binary-heap event loop with an integer cycle clock."""
 
+    __slots__ = ("now", "_heap", "_seq", "_running", "events_processed",
+                 "_live", "_cancelled_in_heap", "post_event")
+
     def __init__(self) -> None:
         self.now: int = 0
-        # entries are (time, seq, Event); seq uniqueness means tuple
-        # comparison never reaches the Event element
-        self._heap: List[Tuple[int, int, Event]] = []
+        # entries are (time, seq, Event-or-None, fn, args); seq
+        # uniqueness means tuple comparison never reaches element 2
+        self._heap: List[Tuple[int, int, Optional[Event],
+                               Callable[..., Any], Tuple[Any, ...]]] = []
         self._seq: int = 0
         self._running = False
         self.events_processed: int = 0
@@ -123,8 +146,27 @@ class Simulator:
         ev = Event(time, seq, fn, args, self)
         self._seq = seq + 1
         self._live += 1
-        heapq.heappush(self._heap, (time, seq, ev))
+        heapq.heappush(self._heap, (time, seq, ev, fn, args))
         return ev
+
+    def call_later(self, delay: int, fn: Callable[..., Any], *args: Any,
+                   _validate: bool = _VALIDATE) -> None:
+        """Schedule ``fn(*args)`` with no cancellation handle.
+
+        Identical ordering semantics to :meth:`schedule`, but the heap
+        entry carries no Event object — one allocation less per event.
+        Use for callbacks that are never cancelled (message delivery,
+        directory wakeups); anything that might need ``cancel()`` must
+        go through :meth:`schedule`.
+        """
+        if _validate:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            delay = int(delay)
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        heapq.heappush(self._heap, (self.now + delay, seq, None, fn, args))
 
     def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute cycle ``time`` (>= now)."""
@@ -149,7 +191,8 @@ class Simulator:
         Mutates the existing list (slice assignment) so aliases held by
         a running :meth:`run` loop stay valid.
         """
-        self._heap[:] = [item for item in self._heap if not item[2].cancelled]
+        self._heap[:] = [item for item in self._heap
+                         if item[2] is None or not item[2].cancelled]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
 
@@ -173,45 +216,65 @@ class Simulator:
         try:
             heap = self._heap  # identity-stable: _purge compacts in place
             pop = heapq.heappop
-            budget = max_events
             post = self.post_event
-            if until is None and budget is None:
+            if until is None and max_events is None:
                 # Unbounded drain (the common full-run case): pop
-                # directly — no peek, no limit checks per event.
+                # directly — no peek, no limit checks per event.  The
+                # clock is committed once per timestamp; same-cycle
+                # followers only pay a local compare.
+                now = self.now
                 while heap:
-                    ev = pop(heap)[2]
-                    if ev.cancelled:
-                        self._cancelled_in_heap -= 1
-                        continue
+                    item = pop(heap)
+                    ev = item[2]
+                    if ev is not None:
+                        if ev.cancelled:
+                            self._cancelled_in_heap -= 1
+                            continue
+                        ev.sim = None  # executed: cancel() is a no-op
+                    t = item[0]
+                    if t != now:
+                        self.now = now = t
                     self._live -= 1
-                    ev.sim = None
-                    self.now = ev.time
                     self.events_processed += 1
-                    ev.fn(*ev.args)
+                    item[3](*item[4])
                     if post is not None:
                         post()
                 return self.now
+            budget = _NO_BUDGET if max_events is None else max_events
             while heap:
-                ev = heap[0][2]
-                if ev.cancelled:
+                head = heap[0]
+                ev = head[2]
+                if ev is not None and ev.cancelled:
                     pop(heap)
                     self._cancelled_in_heap -= 1
                     continue
-                if until is not None and ev.time > until:
+                t = head[0]
+                if until is not None and t > until:
                     self.now = until
                     break
-                if budget is not None and budget == 0:
+                if budget <= 0:
+                    # live work pending at/before the limit: the clock
+                    # must not jump past it
                     break
-                pop(heap)
-                if budget is not None:
+                # Batch boundary: commit the clock and re-check the
+                # horizon once per timestamp, then run every live event
+                # at time t (up to the budget) straight off the heap —
+                # zero-delay followers scheduled mid-batch join it.
+                self.now = t
+                while heap and heap[0][0] == t and budget > 0:
+                    item = pop(heap)
+                    ev = item[2]
+                    if ev is not None:
+                        if ev.cancelled:
+                            self._cancelled_in_heap -= 1
+                            continue
+                        ev.sim = None
                     budget -= 1
-                self._live -= 1
-                ev.sim = None  # executed: later cancel() is a no-op
-                self.now = ev.time
-                self.events_processed += 1
-                ev.fn(*ev.args)
-                if post is not None:
-                    post()
+                    self._live -= 1
+                    self.events_processed += 1
+                    item[3](*item[4])
+                    if post is not None:
+                        post()
             else:
                 if until is not None and until > self.now:
                     self.now = until

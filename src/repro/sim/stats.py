@@ -21,6 +21,20 @@ from collections import Counter
 from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
+from repro.network.message import MSG_TYPE_NAMES, N_MESSAGE_TYPES
+
+# Dense codes for predict_unicast decline reasons: the PUNO unit
+# classifies every declined prediction, so the accumulator follows the
+# same SoA pattern as the per-message-type counts (int index on the
+# hot path, str-keyed Counter view folded on read).
+DECLINE_REASONS = (
+    "disabled", "no_tag", "committing", "ud_none", "short_nacker",
+    "requester_older",
+)
+(DECLINE_DISABLED, DECLINE_NO_TAG, DECLINE_COMMITTING, DECLINE_UD_NONE,
+ DECLINE_SHORT_NACKER, DECLINE_REQUESTER_OLDER) = range(6)
+N_DECLINE_REASONS = len(DECLINE_REASONS)
+
 
 class Histogram:
     """Sparse integer histogram with summary helpers."""
@@ -99,14 +113,18 @@ class Stats:
         self.tracer = None
 
         # --- messages / network -------------------------------------
-        # keyed by MessageType *name* (str) so pickled Stats from sweep
-        # workers stay cheap and JSON-serializable
-        self.messages_by_type: Counter = Counter()
+        # Struct-of-arrays accumulators indexed by the dense
+        # MessageType code: the hot path does one C-level list index
+        # per event instead of hashing a str key into a Counter.  The
+        # str-keyed Counter view (``messages_by_type``/``dir_requests``)
+        # is folded on read, and only :meth:`snapshot` materializes it
+        # for the canonical digest.
+        self._msg_counts: List[int] = [0] * N_MESSAGE_TYPES
         self.flit_router_traversals: int = 0  # Fig. 11 metric
         self.flits_injected: int = 0
 
         # --- coherence / directory ----------------------------------
-        self.dir_requests: Counter = Counter()
+        self._dir_req_counts: List[int] = [0] * N_MESSAGE_TYPES
         self.dir_blocked_cycles_txgetx: int = 0  # Fig. 12 metric
         self.dir_blocked_cycles_total: int = 0
         self.dir_blocked_events: int = 0
@@ -142,9 +160,9 @@ class Stats:
         self.puno_pbuffer_updates: int = 0
         self.puno_pbuffer_invalidations: int = 0
         self.puno_timeouts: int = 0
-        # why predict_unicast declined (keys: no_tag, ud_none,
-        # ud_not_target, not_usable, epoch, requester_older, disabled)
-        self.puno_declines: Counter = Counter()
+        # why predict_unicast declined, indexed by the dense
+        # DECLINE_* codes; str-keyed view via the puno_declines property
+        self._puno_decline_counts: List[int] = [0] * N_DECLINE_REASONS
 
         # --- RMW predictor -------------------------------------------
         self.rmw_upgraded_loads: int = 0
@@ -168,6 +186,66 @@ class Stats:
         # Owner-supplied values fabricated because a dropped message
         # left a registered owner without the data (fault runs only).
         self.fault_fabricated_values: int = 0
+
+    # ------------------------------------------------------------------
+    # str-keyed views over the SoA accumulators
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fold_type_counts(counts: List[int],
+                          names=MSG_TYPE_NAMES) -> Counter:
+        """Dense int-indexed array -> name-keyed Counter (zero entries
+        omitted, matching historical Counter contents)."""
+        out: Counter = Counter()
+        for code, n in enumerate(counts):
+            if n:
+                out[names[code]] = n
+        return out
+
+    @property
+    def messages_by_type(self) -> Counter:
+        """Per-type message counts keyed by MessageType *name* (str).
+
+        Read-only fold of the int-indexed accumulator; hot-path writers
+        use ``stats._msg_counts[msg.mtype] += 1`` directly.
+        """
+        return self._fold_type_counts(self._msg_counts)
+
+    @property
+    def dir_requests(self) -> Counter:
+        """Per-type directory request counts (same str keying as
+        :attr:`messages_by_type`); fold of ``_dir_req_counts``."""
+        return self._fold_type_counts(self._dir_req_counts)
+
+    @property
+    def puno_declines(self) -> Counter:
+        """Prediction-decline counts keyed by reason name (str);
+        fold of ``_puno_decline_counts``."""
+        return self._fold_type_counts(self._puno_decline_counts,
+                                      DECLINE_REASONS)
+
+    # ------------------------------------------------------------------
+    # pickle compatibility
+    # ------------------------------------------------------------------
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        """Accept pickles from before the SoA accumulators.
+
+        Cached RunResults (the content-addressed result cache) carry
+        Stats pickled with ``messages_by_type``/``dir_requests`` as
+        instance Counters; migrate them into the arrays so they don't
+        shadow the fold-on-read properties.
+        """
+        for legacy, soa, names in (
+                ("messages_by_type", "_msg_counts", MSG_TYPE_NAMES),
+                ("dir_requests", "_dir_req_counts", MSG_TYPE_NAMES),
+                ("puno_declines", "_puno_decline_counts",
+                 DECLINE_REASONS)):
+            counter = state.pop(legacy, None)
+            if counter is not None and soa not in state:
+                counts = [0] * len(names)
+                for name, n in counter.items():
+                    counts[names.index(name)] = n
+                state[soa] = counts
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # aggregate helpers
@@ -230,8 +308,14 @@ class Stats:
         parallel-equivalence tests assert on.
         """
         out: Dict[str, object] = {}
+        # The SoA accumulators fold back to their historical str-keyed
+        # names here — the snapshot (and so the digest) is identical to
+        # the pre-SoA encoding.
+        out["messages_by_type"] = dict(self.messages_by_type)
+        out["dir_requests"] = dict(self.dir_requests)
+        out["puno_declines"] = dict(self.puno_declines)
         for name, value in vars(self).items():
-            if name == "tracer":
+            if name == "tracer" or name.startswith("_"):
                 continue
             if name == "nodes":
                 # NodeStats is a slots dataclass (no __dict__): walk

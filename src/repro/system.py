@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.coherence.directory import DirectoryController
 from repro.coherence.states import DirState, L1State
+from repro.core.bitset import bit_list, mask_of
 from repro.core.puno import DirectoryPUNO
 from repro.core.txlb import TxLB
 from repro.htm.contention import CM_REGISTRY
@@ -113,7 +114,8 @@ class System:
                 txlb=TxLB(config.puno.txlb_entries), **node_extra,
             )
             self.nodes.append(node)
-            self.network.register(n, self._make_endpoint(directory, node))
+            self.network.register_table(
+                n, self._make_endpoint(directory, node))
 
         # Dynamic protocol sanitizer: explicit argument wins, otherwise
         # the REPRO_SANITIZE environment flag (which parallel sweep
@@ -166,15 +168,13 @@ class System:
     def _make_endpoint(directory: DirectoryController,
                        node: NodeController):
         # The directory's and node's dispatch tables are disjoint and
-        # together cover every MessageType, so the endpoint is a single
-        # merged {type: bound handler} lookup — no membership test, no
-        # intermediate receive() hop.
-        table = {**directory.handlers, **node.handlers}
-        assert set(table) == set(MessageType), "endpoint dispatch incomplete"
-
-        def endpoint(msg: Message, _table=table) -> None:
-            _table[msg.mtype](msg)
-        return endpoint
+        # together cover every MessageType; merged into a dense list in
+        # code order, the network delivers straight to the owning
+        # controller's bound handler — no membership test, no closure
+        # hop, no per-delivery dict lookup.
+        merged = {**directory.handlers, **node.handlers}
+        assert set(merged) == set(MessageType), "endpoint dispatch incomplete"
+        return [merged[t] for t in MessageType]
 
     # ------------------------------------------------------------------
     def _node_done(self, node: int) -> None:
@@ -267,11 +267,12 @@ class System:
                     if owners:
                         raise CoherenceViolation(
                             f"addr {addr}: dir says S but owners {owners}")
-                    holder_ids = {n for n, _ in sharers}
-                    if not holder_ids <= entry.sharers:
+                    holder_mask = mask_of(n for n, _ in sharers)
+                    if holder_mask & ~entry.sharers:
                         raise CoherenceViolation(
-                            f"addr {addr}: S holders {holder_ids} not in "
-                            f"directory sharer list {entry.sharers}")
+                            f"addr {addr}: S holders "
+                            f"{bit_list(holder_mask)} not in directory "
+                            f"sharer list {bit_list(entry.sharers)}")
                 if entry.state is DirState.I and holders.get(addr):
                     live = [h for h in holders[addr]
                             if h[1].state is not L1State.I]

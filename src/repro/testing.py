@@ -28,8 +28,8 @@ class RecordingNetwork:
         self.sent: List[Message] = []
 
     def send(self, msg: Message, extra_delay: int = 0) -> None:
-        # same str keying as the real Network
-        self.stats.messages_by_type[msg.mtype.name] += 1
+        # same int-indexed accumulation as the real Network
+        self.stats._msg_counts[msg.mtype] += 1
         self.sent.append(msg)
 
     def pop(self, mtype=None) -> Message:

@@ -8,6 +8,7 @@ import pytest
 
 from repro.coherence.directory import DirectoryController
 from repro.coherence.states import DirState
+from repro.core.bitset import mask_of
 from repro.network.message import Message, MessageType, TxTag
 from repro.sim.config import small_config
 from repro.sim.engine import Simulator
@@ -93,7 +94,7 @@ def test_gets_owner_path_forwards(dirsetup):
                       req_id=7, value=11))
     d.receive(_unblock(0, src=2, req_id=7))
     assert entry.state is DirState.S
-    assert entry.sharers == {1, 2}
+    assert entry.sharers == mask_of({1, 2})
     assert entry.value == 11
     assert not entry.blocked
 
@@ -131,7 +132,7 @@ def _make_shared(dirsetup, sharers):
 def test_getx_multicast_to_all_sharers(dirsetup):
     sim, d, net, stats = dirsetup
     entry = _make_shared(dirsetup, [1, 2, 3])
-    assert entry.state is DirState.S and entry.sharers == {1, 2, 3}
+    assert entry.state is DirState.S and entry.sharers == mask_of({1, 2, 3})
     d.receive(_getx(0, src=1, req_id=9))
     sim.run()
     fwds = net.of_type(MessageType.FWD_GETX)
@@ -150,7 +151,7 @@ def test_getx_success_unblock_transfers_ownership(dirsetup):
     sim.run()
     d.receive(_unblock(0, src=1, req_id=9, success=True))
     assert entry.state is DirState.M and entry.owner == 1
-    assert entry.sharers == set()
+    assert entry.sharers == 0
     assert not entry.blocked
 
 
@@ -162,7 +163,7 @@ def test_getx_fail_keeps_nackers_and_requester(dirsetup):
     # sharer 2 nacked (survivor), sharer 3 acked (invalidated)
     d.receive(_unblock(0, src=1, req_id=9, success=False, survivors=[2]))
     assert entry.state is DirState.S
-    assert entry.sharers == {1, 2}  # upgrade requester keeps its copy
+    assert entry.sharers == mask_of({1, 2})  # upgrade requester keeps its copy
 
 
 def test_getx_nonsharer_gets_data(dirsetup):

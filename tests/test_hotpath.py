@@ -88,12 +88,20 @@ def test_message_uids_stay_unique():
     assert len(uids) == 200
 
 
-def test_message_type_uses_identity_hash():
-    # Enum members are singletons; the identity hash is exact and
-    # C-level — the property every per-message dict lookup relies on.
-    assert MessageType.__hash__ is object.__hash__
-    assert hash(MessageType.ACK) == object.__hash__(MessageType.ACK)
+def test_message_type_is_int_coded():
+    # Members are IntEnum singletons: usable directly as dense array
+    # indices, with the int hash so dict fallbacks stay exact.
+    assert isinstance(MessageType.ACK, int)
+    assert hash(MessageType.ACK) == hash(int(MessageType.ACK))
     assert {MessageType.ACK: 1}[MessageType.ACK] == 1
+    # Codes are stable and dense — the contract every [code]-indexed
+    # accumulator and dispatch table relies on.
+    assert sorted(int(t) for t in MessageType) == list(range(len(MessageType)))
+    # The MSHR response window must stay contiguous.
+    assert (
+        MessageType.DATA_EXCL - MessageType.DATA == 1
+        and MessageType.GRANT - MessageType.DATA_EXCL == 1
+    )
 
 
 # ---------------------------------------------------------------------
@@ -255,3 +263,87 @@ def test_snapshot_keys_are_json_serializable():
     snap = result.stats.snapshot()
     json.dumps(snap)  # raises if any Counter kept enum keys
     assert all(isinstance(k, str) for k in snap["messages_by_type"])
+
+
+# ---------------------------------------------------------------------
+# bench harness: regression gate + reference-block plumbing
+# ---------------------------------------------------------------------
+
+def _bench_module():
+    import importlib.util
+    import pathlib
+    path = (pathlib.Path(__file__).resolve().parents[1]
+            / "benchmarks" / "bench_micro.py")
+    spec = importlib.util.spec_from_file_location("bench_micro", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _report(aggregate, reference=None):
+    out = {"end_to_end": {"aggregate_events_per_sec": aggregate}}
+    if reference is not None:
+        out["reference_pre_pr"] = {
+            "end_to_end": {"aggregate_events_per_sec": reference}}
+    return out
+
+
+def test_check_against_passes_within_tolerance(tmp_path, capsys):
+    bench = _bench_module()
+    baseline = tmp_path / "base.json"
+    baseline.write_text(json.dumps(_report(100_000, reference=90_000)))
+    assert bench.check_against(_report(60_000), baseline) == 0
+    capsys.readouterr()
+
+
+def test_check_against_fails_on_gross_regression(tmp_path, capsys):
+    bench = _bench_module()
+    baseline = tmp_path / "base.json"
+    baseline.write_text(json.dumps(_report(100_000)))
+    assert bench.check_against(_report(40_000), baseline) == 1
+    capsys.readouterr()
+
+
+def test_check_against_enforces_pre_pr_floor(tmp_path, capsys):
+    # Within 2x of the fresh baseline but below half the recorded
+    # pre-optimization floor: the gate must still fail — the floor is
+    # the whole point of keeping the reference block in the artifact.
+    bench = _bench_module()
+    baseline = tmp_path / "base.json"
+    baseline.write_text(json.dumps(_report(100_000, reference=500_000)))
+    assert bench.check_against(_report(60_000), baseline) == 1
+    capsys.readouterr()
+
+
+def test_load_reference_prefers_existing_block(tmp_path):
+    bench = _bench_module()
+    out = tmp_path / "out.json"
+    out.write_text(json.dumps(_report(200_000, reference=100_000)))
+    ref = bench._load_reference(out, None)
+    assert ref["end_to_end"]["aggregate_events_per_sec"] == 100_000
+
+
+def test_load_reference_compacts_legacy_report(tmp_path):
+    bench = _bench_module()
+    check = tmp_path / "base.json"
+    check.write_text(json.dumps(_report(150_000)))
+    ref = bench._load_reference(tmp_path / "missing.json", check)
+    assert ref["end_to_end"]["aggregate_events_per_sec"] == 150_000
+
+
+def test_load_reference_empty_when_no_prior(tmp_path):
+    bench = _bench_module()
+    assert bench._load_reference(tmp_path / "a.json",
+                                 tmp_path / "b.json") == {}
+
+
+def test_committed_bench_record_has_reference_block():
+    import pathlib
+    path = (pathlib.Path(__file__).resolve().parents[1]
+            / "BENCH_hotpath.json")
+    record = json.loads(path.read_text())
+    ref = record["reference_pre_pr"]
+    # the trajectory must stay monotone: the committed aggregate is
+    # never below the pre-optimization reference it ships with
+    assert (record["end_to_end"]["aggregate_events_per_sec"]
+            >= ref["end_to_end"]["aggregate_events_per_sec"])

@@ -44,6 +44,11 @@ FIXTURES = {
                         "@dataclass\n"
                         "class C:\n"
                         "    x: int\n"),
+    "str-key-count": ("def on_msg(counts):\n"
+                      "    counts['GETS'] += 1\n"),
+    "event-alloc": ("def deliver(msg):\n"
+                    "    meta = {'src': 1}\n"
+                    "    return meta\n"),
 }
 
 
@@ -102,8 +107,16 @@ def test_set_iteration_tracks_assigned_names():
 
 
 def test_set_iteration_known_attrs():
-    src = "for n in entry.sharers:\n    pass\n"
+    src = "for n in entry.read_set:\n    pass\n"
     assert "set-iteration" in _rules_hit(src)
+
+
+def test_sharers_bitmask_not_a_set_attr():
+    # DirEntry.sharers is an int bitmask now: iterating it is a
+    # TypeError at runtime, not an ordering hazard — the lint rule
+    # must not claim otherwise.
+    src = "x = sorted(entry.sharers)\nfor n in entry.sharers:\n    pass\n"
+    assert "set-iteration" not in _rules_hit(src)
 
 
 def test_sorted_set_is_clean():
@@ -173,6 +186,57 @@ def test_dataclass_slots_disable_comment():
            "class C:  # lint: disable=dataclass-slots -- pickled\n"
            "    x: int\n")
     assert _violations(src) == []
+
+
+# ---------------------------------------------------------------------
+# event-path rule details (str-key-count / event-alloc)
+# ---------------------------------------------------------------------
+
+def test_str_key_count_int_index_clean():
+    src = "def on_msg(counts, code):\n    counts[code] += 1\n"
+    assert "str-key-count" not in _rules_hit(src)
+
+
+def test_event_alloc_init_is_exempt():
+    src = ("class C:\n"
+           "    def __init__(self):\n"
+           "        self.seen = {}\n"
+           "        self.meta = {'a': 1}\n")
+    assert "event-alloc" not in _rules_hit(src)
+
+
+def test_event_alloc_module_level_clean():
+    assert "event-alloc" not in _rules_hit("TABLE = {'a': 1}\n")
+
+
+def test_event_alloc_comprehension_flagged():
+    src = "def drain(q):\n    return {x for x in q}\n"
+    assert "event-alloc" in _rules_hit(src)
+
+
+def test_event_alloc_disable_comment():
+    src = ("def deliver(msg):\n"
+           "    meta = {'src': 1}  # lint: disable=event-alloc -- cold\n"
+           "    return meta\n")
+    assert "event-alloc" not in {v.rule for v in _violations(src)}
+
+
+def test_str_key_count_disable_comment():
+    src = ("def on_msg(counts):\n"
+           "    counts['GETS'] += 1  # lint: disable=str-key-count\n")
+    assert "str-key-count" not in {v.rule for v in _violations(src)}
+
+
+def test_event_path_scope_resolution():
+    for relpath in ("network/network.py", "htm/node.py",
+                    "coherence/directory.py", "core/puno.py"):
+        assert "str-key-count" in active_rules(relpath)
+        assert "event-alloc" in active_rules(relpath)
+    # the snapshot/report boundary legitimately builds str-keyed dicts
+    for relpath in ("sim/stats.py", "analysis/report.py",
+                    "workloads/stamp.py"):
+        assert "str-key-count" not in active_rules(relpath)
+        assert "event-alloc" not in active_rules(relpath)
 
 
 # ---------------------------------------------------------------------

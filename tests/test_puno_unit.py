@@ -3,6 +3,7 @@
 import pytest
 
 from repro.coherence.directory import DirEntry
+from repro.core.bitset import mask_of
 from repro.core.puno import DirectoryPUNO
 from repro.network.message import Message, MessageType, TxTag
 from repro.sim.config import PUNOConfig
@@ -26,7 +27,7 @@ def _getx(src, ts, length_hint=0):
 
 def _entry(sharers, readers=None, ud=None):
     e = DirEntry()
-    e.sharers = set(sharers)
+    e.sharers = mask_of(sharers)
     e.tx_readers = dict(readers or {})
     e.ud = ud
     return e

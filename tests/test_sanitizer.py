@@ -131,7 +131,7 @@ def test_sharer_list_hole_caught():
     directory, addr, entry = _shared_entry(system)
     holder = next(n.node for n in system.nodes
                   if n.l1.state_of(addr) is L1State.S)
-    entry.sharers.discard(holder)  # directory forgets a live sharer
+    entry.sharers &= ~(1 << holder)  # directory forgets a live sharer
     _expect("dir-sharers", system.sanitizer.check_line,
             directory, addr, entry)
 
@@ -140,7 +140,7 @@ def test_directory_i_with_cached_copy_caught():
     system = _ran_system()
     directory, addr, entry = _shared_entry(system)
     entry.state = DirState.I
-    entry.sharers.clear()
+    entry.sharers = 0
     _expect("dir-sharers", system.sanitizer.check_line,
             directory, addr, entry)
 
