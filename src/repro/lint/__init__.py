@@ -11,10 +11,20 @@ rules a generic linter cannot know about:
   must stay picklable,
 * cycle math stays in integers (no float ``==``, no float delays).
 
+Beyond the per-file rules, ``repro lint --deep`` runs whole-program
+passes (:mod:`repro.lint.analysis`): determinism-taint over the
+project call graph, MessageType handler exhaustiveness, and the
+SoA-stats snapshot/pickle contract.
+
 Use :func:`lint_paths` programmatically or ``python -m repro lint``
 from the command line.  Every rule supports an inline escape hatch::
 
     something_flagged()  # lint: disable=<rule-id>
+
+and known findings can be suppressed with a justification in a
+checked-in ``lint-baseline.json`` (:mod:`repro.lint.baseline`).
+``--format sarif`` emits SARIF 2.1.0 for GitHub code scanning
+(:mod:`repro.lint.sarif`).
 
 See :mod:`repro.lint.rules` for the rule catalogue and
 :mod:`repro.lint.runner` for the report/exit-code contract.

@@ -1,0 +1,45 @@
+"""Whole-program static analysis (``repro lint --deep``).
+
+Where :mod:`repro.lint.rules` pattern-matches one file's AST at a
+time, this subpackage builds a *project-wide* model of ``src/repro``
+— every module parsed, a symbol table of classes/functions, and a
+best-effort static call graph — and proves three properties the
+per-file rules cannot see:
+
+* **determinism taint** (:class:`~repro.lint.analysis.passes.
+  DeterminismTaintPass`) — no nondeterminism source (wall clock,
+  unseeded ``random``, ``id()``/``hash()``, ``os.environ``, unsorted
+  set iteration) inside any function from which engine scheduling,
+  stats accumulation, or snapshot/digest construction is reachable,
+  unless routed through ``repro.sim.rng`` or an explicit sort;
+* **handler exhaustiveness** (:class:`~repro.lint.analysis.passes.
+  HandlerExhaustivenessPass`) — every ``MessageType`` code 0..12 has
+  a registered handler for each (directory-class, node-class)
+  endpoint pairing, proven from the dispatch-table literals, so a
+  scheme plug-in cannot ship a partial table that only fails at
+  wiring time;
+* **snapshot contract** (:class:`~repro.lint.analysis.passes.
+  SnapshotContractPass`) — the SoA stats accumulators fold to their
+  str-keyed views only at property/snapshot/pickle boundaries, the
+  event-path files never touch a folded view, and nothing
+  unpicklable is captured into sweep-worker task submissions.
+
+Entry point: :func:`run_deep_analysis`.
+"""
+
+from repro.lint.analysis.project import Project
+from repro.lint.analysis.symbols import SymbolTable
+from repro.lint.analysis.callgraph import CallGraph
+from repro.lint.analysis.passes import (
+    DEEP_PASSES,
+    DeterminismTaintPass,
+    HandlerExhaustivenessPass,
+    SnapshotContractPass,
+    run_deep_analysis,
+)
+
+__all__ = [
+    "Project", "SymbolTable", "CallGraph", "DEEP_PASSES",
+    "DeterminismTaintPass", "HandlerExhaustivenessPass",
+    "SnapshotContractPass", "run_deep_analysis",
+]

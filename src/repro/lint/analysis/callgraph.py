@@ -1,0 +1,297 @@
+"""Best-effort static call graph over the project symbol table.
+
+Resolution strategy, in order:
+
+* bare names — module-local functions, then the import table
+  (a class resolves to its ``__init__``);
+* ``self.method(...)`` — the enclosing class's MRO;
+* ``self.attr(...)`` where ``__init__`` aliased a resolvable callable
+  (``self._schedule = sim.call_later``) — the aliased function;
+* ``receiver.method(...)`` where the receiver is a parameter or an
+  instance attribute with a class annotation (``sim: Simulator``,
+  ``self.network = network``) — that class's MRO;
+* ``module.func(...)`` through the import table;
+* otherwise, an ambiguity fallback: if at most
+  :data:`AMBIGUOUS_LIMIT` project classes define a method of that
+  name, the call links to all of them (an over-approximation, which
+  is the safe direction for reachability analyses).
+
+The graph is deterministic: edges are stored sorted, and every
+traversal iterates in sorted order, so analysis output is stable
+across runs and Python hash seeds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.lint.analysis.project import ModuleInfo
+from repro.lint.analysis.symbols import ClassInfo, FunctionInfo, SymbolTable
+
+#: Max project classes defining a method name for the ambiguous
+#: receiver fallback to link the call to all of them.
+AMBIGUOUS_LIMIT = 3
+
+
+class CallGraph:
+    """Qualname -> callee-qualnames over every project function."""
+
+    def __init__(self, symtab: SymbolTable):
+        self.symtab = symtab
+        self.edges: Dict[str, Tuple[str, ...]] = {}
+        self.redges: Dict[str, Set[str]] = {}
+        self._param_types: Dict[str, Dict[str, ClassInfo]] = {}
+        self._attr_types: Dict[str, Dict[str, ClassInfo]] = {}
+        self._attr_aliases: Dict[str, Dict[str, FunctionInfo]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        for qual in sorted(self.symtab.functions):
+            fn = self.symtab.functions[qual]
+            callees: Set[str] = set()
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Call):
+                    for callee in self.resolve_call(fn, node):
+                        callees.add(callee.qualname)
+            self.edges[qual] = tuple(sorted(callees))
+            for callee in self.edges[qual]:
+                self.redges.setdefault(callee, set()).add(qual)
+
+    # ------------------------------------------------------------------
+    # type inference helpers
+    # ------------------------------------------------------------------
+    def _resolve_annotation(self, relpath: str,
+                            ann: Optional[ast.AST]) -> Optional[ClassInfo]:
+        if ann is None:
+            return None
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            # string annotation: parse the dotted name directly
+            name = ann.value
+        elif isinstance(ann, ast.Subscript):
+            # Optional[X] / List[X]: look inside
+            return self._resolve_annotation(relpath, ann.slice)
+        else:
+            name = _dotted(ann)
+        if not name:
+            return None
+        return self.symtab.resolve_class(relpath, name)
+
+    def param_types(self, fn: FunctionInfo) -> Dict[str, ClassInfo]:
+        """Parameter name -> project class, from annotations."""
+        cached = self._param_types.get(fn.qualname)
+        if cached is not None:
+            return cached
+        out: Dict[str, ClassInfo] = {}
+        args = fn.node.args
+        for arg in (list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)):
+            cls = self._resolve_annotation(fn.relpath, arg.annotation)
+            if cls is not None:
+                out[arg.arg] = cls
+        self._param_types[fn.qualname] = out
+        return out
+
+    def _scan_class_attrs(self, cls: ClassInfo) -> None:
+        """Infer ``self.X`` attribute types and callable aliases from
+        every method body in the class's MRO (``__init__`` mostly)."""
+        types: Dict[str, ClassInfo] = {}
+        aliases: Dict[str, FunctionInfo] = {}
+        for owner in reversed(cls.mro()):  # ancestors first, so
+            #                                subclass assignments win
+            for mname in sorted(owner.methods):
+                method = owner.methods[mname]
+                ptypes = self.param_types(method)
+                for node in ast.walk(method.node):
+                    target = value = None
+                    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                        target, value = node.targets[0], node.value
+                    elif isinstance(node, ast.AnnAssign):
+                        target, value = node.target, node.value
+                    if not (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        continue
+                    attr = target.attr
+                    if isinstance(node, ast.AnnAssign):
+                        ann_cls = self._resolve_annotation(
+                            owner.relpath, node.annotation)
+                        if ann_cls is not None:
+                            types[attr] = ann_cls
+                            continue
+                    if value is None:
+                        continue
+                    # self.x = <param annotated with a project class>
+                    if (isinstance(value, ast.Name)
+                            and value.id in ptypes):
+                        types[attr] = ptypes[value.id]
+                    # self.x = SomeClass(...)
+                    elif isinstance(value, ast.Call):
+                        sym = self._resolve_value(owner, ptypes,
+                                                  value.func)
+                        if isinstance(sym, ClassInfo):
+                            types[attr] = sym
+                    # self.x = <resolvable function/method reference>
+                    else:
+                        sym = self._resolve_value(owner, ptypes, value)
+                        if isinstance(sym, FunctionInfo):
+                            aliases[attr] = sym
+        self._attr_types[cls.qualname] = types
+        self._attr_aliases[cls.qualname] = aliases
+
+    def attr_types(self, cls: ClassInfo) -> Dict[str, ClassInfo]:
+        if cls.qualname not in self._attr_types:
+            self._scan_class_attrs(cls)
+        return self._attr_types[cls.qualname]
+
+    def attr_aliases(self, cls: ClassInfo) -> Dict[str, FunctionInfo]:
+        if cls.qualname not in self._attr_aliases:
+            self._scan_class_attrs(cls)
+        return self._attr_aliases[cls.qualname]
+
+    def _resolve_value(self, fn: FunctionInfo,
+                       ptypes: Dict[str, ClassInfo], node: ast.AST
+                       ) -> Optional[Union[FunctionInfo, ClassInfo,
+                                           ModuleInfo]]:
+        """Resolve an expression to a symbol: bare names via the
+        module, ``param.attr`` via parameter types, ``mod.attr`` via
+        imports."""
+        if isinstance(node, ast.Name):
+            if node.id in ptypes:
+                return ptypes[node.id]
+            return self.symtab.resolve_local(fn.relpath, node.id)
+        if isinstance(node, ast.Attribute):
+            base = node.value
+            if isinstance(base, ast.Name) and base.id in ptypes:
+                return ptypes[base.id].find_method(node.attr)
+            dotted = _dotted(node)
+            if dotted:
+                head, _, rest = dotted.partition(".")
+                sym = self.symtab.resolve_local(fn.relpath, head)
+                if isinstance(sym, ModuleInfo) and rest:
+                    target = (f"{sym.dotted}.{rest}" if sym.dotted
+                              else rest)
+                    return self.symtab.resolve_dotted(target)
+                if isinstance(sym, ClassInfo) and rest and "." not in rest:
+                    return sym.find_method(rest)
+        return None
+
+    # ------------------------------------------------------------------
+    # call resolution
+    # ------------------------------------------------------------------
+    def resolve_call(self, fn: FunctionInfo,
+                     call: ast.Call) -> List[FunctionInfo]:
+        """The project functions a call node may invoke (possibly
+        several under the ambiguity fallback; empty when external or
+        unresolvable)."""
+        func = call.func
+        symtab = self.symtab
+        if isinstance(func, ast.Name):
+            sym = symtab.resolve_local(fn.relpath, func.id)
+            if isinstance(sym, FunctionInfo):
+                return [sym]
+            if isinstance(sym, ClassInfo):
+                init = sym.find_method("__init__")
+                return [init] if init is not None else []
+            return []
+        if not isinstance(func, ast.Attribute):
+            return []
+        attr = func.attr
+        base = func.value
+        encl = (symtab.classes.get(f"{fn.relpath}::{fn.clsname}")
+                if fn.clsname else None)
+        # self.method(...) / self.alias(...)
+        if isinstance(base, ast.Name) and base.id == "self" and encl:
+            method = encl.find_method(attr)
+            if method is not None:
+                return [method]
+            alias = self.attr_aliases(encl).get(attr)
+            if alias is not None:
+                return [alias]
+            typed = self.attr_types(encl).get(attr)
+            if typed is not None:
+                found = typed.find_method("__call__")
+                return [found] if found else []
+            return self._ambiguous(attr)
+        # receiver with a known class: parameter or self.attr chain
+        recv_cls = self._receiver_class(fn, encl, base)
+        if recv_cls is not None:
+            method = recv_cls.find_method(attr)
+            if method is not None:
+                return [method]
+            return self._ambiguous(attr)
+        # module.func(...) or Class.method(...) through imports
+        sym = self._resolve_value(fn, self.param_types(fn), func)
+        if isinstance(sym, FunctionInfo):
+            return [sym]
+        if isinstance(sym, ClassInfo):
+            init = sym.find_method("__init__")
+            return [init] if init is not None else []
+        return self._ambiguous(attr)
+
+    def _receiver_class(self, fn: FunctionInfo,
+                        encl: Optional[ClassInfo],
+                        base: ast.AST) -> Optional[ClassInfo]:
+        if isinstance(base, ast.Name):
+            return self.param_types(fn).get(base.id)
+        if (isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self" and encl is not None):
+            return self.attr_types(encl).get(base.attr)
+        return None
+
+    def _ambiguous(self, name: str) -> List[FunctionInfo]:
+        candidates = self.symtab.methods_by_name.get(name, [])
+        if 0 < len(candidates) <= AMBIGUOUS_LIMIT:
+            return sorted(candidates, key=lambda f: f.qualname)
+        return []
+
+    # ------------------------------------------------------------------
+    # reachability
+    # ------------------------------------------------------------------
+    def reverse_reachable(self, seeds: Iterable[str]
+                          ) -> Dict[str, Optional[str]]:
+        """Every function from which any seed is statically reachable,
+        mapped to its next hop toward a seed (None for the seeds
+        themselves).  BFS over reverse edges in sorted order, so the
+        recorded witness chains are deterministic."""
+        parent: Dict[str, Optional[str]] = {}
+        frontier = sorted(set(seeds) & set(self.symtab.functions))
+        for seed in frontier:
+            parent[seed] = None
+        while frontier:
+            nxt: List[str] = []
+            for qual in frontier:
+                for caller in sorted(self.redges.get(qual, ())):
+                    if caller not in parent:
+                        parent[caller] = qual
+                        nxt.append(caller)
+            frontier = sorted(nxt)
+        return parent
+
+    def chain(self, qual: str, parent: Dict[str, Optional[str]],
+              limit: int = 5) -> List[str]:
+        """Witness path from ``qual`` to its seed, qualnames in call
+        order (truncated in the middle past ``limit`` hops)."""
+        path: List[str] = [qual]
+        cur: Optional[str] = qual
+        while cur is not None and parent.get(cur) is not None:
+            cur = parent[cur]
+            path.append(cur)
+        if len(path) > limit:
+            path = path[:limit - 1] + ["..."] + [path[-1]]
+        return path
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""

@@ -1,0 +1,158 @@
+"""Project model: every module of the analyzed package, parsed once.
+
+A :class:`Project` is rooted at a *package directory* (by default the
+installed ``repro`` package) and holds one :class:`ModuleInfo` per
+``*.py`` file under it.  Modules are addressed by their package-
+relative posix path (``htm/node.py``) — the same keying the per-file
+rule scopes use — so the analysis is independent of where the tree
+actually sits on disk (the meta-tests copy it into a temp directory
+and mutate it there).
+
+``overrides`` maps relpath -> replacement source text; the seeded-
+mutation meta-tests use it to analyze a hypothetical tree without
+writing files.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the analyzed package."""
+
+    relpath: str  # package-relative posix path, e.g. "htm/node.py"
+    path: str  # display path (absolute, or as given)
+    dotted: str  # dotted module name relative to the package root,
+    #              e.g. "htm.node" ("" for the root __init__.py)
+    tree: ast.Module
+    source: str
+
+
+class ProjectError(Exception):
+    """A module of the analyzed tree could not be read or parsed."""
+
+
+class Project:
+    """All modules of one package tree, parsed and keyed by relpath."""
+
+    def __init__(self, root: Path, modules: Dict[str, ModuleInfo]):
+        self.root = root
+        self.modules = modules
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, root: Optional[Path] = None,
+             overrides: Optional[Dict[str, str]] = None) -> "Project":
+        """Parse every ``*.py`` under ``root`` (default: the installed
+        ``repro`` package).  ``overrides[relpath]`` replaces that
+        module's source before parsing.  Raises :class:`ProjectError`
+        on the first unreadable or unparseable module — a deep
+        analysis over a half-loaded tree would prove nothing.
+        """
+        if root is None:
+            from repro.lint.runner import package_root
+            root = package_root()
+        root = Path(root).resolve()
+        overrides = overrides or {}
+        modules: Dict[str, ModuleInfo] = {}
+        for path in sorted(root.rglob("*.py")):
+            relpath = path.relative_to(root).as_posix()
+            source = overrides.get(relpath)
+            if source is None:
+                try:
+                    source = path.read_text()
+                except OSError as exc:
+                    raise ProjectError(f"{path}: unreadable ({exc})")
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                raise ProjectError(
+                    f"{path}: parse failure (line {exc.lineno}: {exc.msg})")
+            modules[relpath] = ModuleInfo(
+                relpath=relpath, path=str(path),
+                dotted=_dotted_name(relpath), tree=tree, source=source)
+        if not modules:
+            raise ProjectError(f"{root}: no python modules found")
+        return cls(root, modules)
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[ModuleInfo]:
+        return iter(self.modules.values())
+
+    def get(self, relpath: str) -> Optional[ModuleInfo]:
+        return self.modules.get(relpath)
+
+    def module_for_dotted(self, dotted: str) -> Optional[ModuleInfo]:
+        """Resolve a package-relative dotted name (``htm.node``) to
+        its module, trying plain module then package ``__init__``."""
+        rel = dotted.replace(".", "/")
+        return (self.modules.get(f"{rel}.py")
+                or self.modules.get(f"{rel}/__init__.py"))
+
+    # ------------------------------------------------------------------
+    # import resolution
+    # ------------------------------------------------------------------
+    # The analyzed tree imports itself as ``repro.x.y`` regardless of
+    # the directory it was copied to, so resolution strips the leading
+    # package name rather than trusting the on-disk root's name.
+
+    PACKAGE_NAMES: Tuple[str, ...] = ("repro",)
+
+    def strip_package(self, dotted: str) -> Optional[str]:
+        """``repro.htm.node`` -> ``htm.node``; None when the name is
+        not inside the analyzed package."""
+        for pkg in self.PACKAGE_NAMES:
+            if dotted == pkg:
+                return ""
+            if dotted.startswith(pkg + "."):
+                return dotted[len(pkg) + 1:]
+        return None
+
+    def import_table(self, mod: ModuleInfo) -> Dict[str, str]:
+        """local name -> package-relative dotted target for every
+        import of the analyzed package in ``mod``.
+
+        ``from repro.htm import node`` maps ``node -> htm.node``;
+        ``from repro.htm.node import NodeController`` maps
+        ``NodeController -> htm.node.NodeController``;
+        ``import repro.htm.node as n`` maps ``n -> htm.node``.
+        Imports of other packages are ignored (the analysis only
+        resolves symbols it parsed).
+        """
+        table: Dict[str, str] = {}
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    inside = self.strip_package(alias.name)
+                    if inside is not None:
+                        table[alias.asname or alias.name.split(".")[0]] = \
+                            inside
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:  # relative import: anchor at this module
+                    pkg_parts = mod.dotted.split(".")[:-node.level] \
+                        if mod.dotted else []
+                    inside = ".".join(pkg_parts + ([base] if base else []))
+                else:
+                    stripped = self.strip_package(base)
+                    if stripped is None:
+                        continue
+                    inside = stripped
+                for alias in node.names:
+                    target = f"{inside}.{alias.name}" if inside \
+                        else alias.name
+                    table[alias.asname or alias.name] = target
+        return table
+
+
+def _dotted_name(relpath: str) -> str:
+    """``htm/node.py`` -> ``htm.node``; ``htm/__init__.py`` -> ``htm``."""
+    parts: List[str] = relpath[:-3].split("/")
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)

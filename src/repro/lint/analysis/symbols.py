@@ -1,0 +1,212 @@
+"""Project-wide symbol table: classes, functions, imports, bases.
+
+Qualified names follow ``relpath::Class.method`` / ``relpath::func``
+(module scope uses no class part), so a symbol is addressable without
+knowing where the analyzed tree sits on disk.  Resolution is
+deliberately best-effort — this is a linter over a codebase with no
+dynamic metaprogramming, not a type checker — but it is *stable*:
+iteration orders follow source order and sorted relpaths, so analysis
+output is deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Union
+
+from repro.lint.analysis.project import ModuleInfo, Project
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str  # "htm/node.py::NodeController._mshr_response"
+    relpath: str
+    name: str
+    clsname: Optional[str]  # enclosing class, None at module scope
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    lineno: int
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its resolved project-internal bases."""
+
+    qualname: str  # "htm/node.py::NodeController"
+    relpath: str
+    name: str
+    node: ast.ClassDef
+    lineno: int
+    base_names: List[str] = field(default_factory=list)  # raw dotted
+    bases: List["ClassInfo"] = field(default_factory=list)  # resolved
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+    def mro(self) -> List["ClassInfo"]:
+        """This class and its project-internal ancestors, nearest
+        first (linearized depth-first; good enough without multiple
+        inheritance diamonds)."""
+        out: List[ClassInfo] = []
+        seen: Set[str] = set()
+        stack: List[ClassInfo] = [self]
+        while stack:
+            cls = stack.pop(0)
+            if cls.qualname in seen:
+                continue
+            seen.add(cls.qualname)
+            out.append(cls)
+            stack.extend(cls.bases)
+        return out
+
+    def find_method(self, name: str) -> Optional[FunctionInfo]:
+        for cls in self.mro():
+            fn = cls.methods.get(name)
+            if fn is not None:
+                return fn
+        return None
+
+
+class SymbolTable:
+    """Every class and function of a :class:`Project`, resolvable by
+    qualname, local name, or dotted import path."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        # per-module views
+        self.module_functions: Dict[str, Dict[str, FunctionInfo]] = {}
+        self.module_classes: Dict[str, Dict[str, ClassInfo]] = {}
+        # import tables per module: local name -> package-rel dotted
+        self.imports: Dict[str, Dict[str, str]] = {}
+        # method name -> every definition, for the ambiguous-receiver
+        # call heuristic
+        self.methods_by_name: Dict[str, List[FunctionInfo]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        for mod in self.project:
+            self.module_functions[mod.relpath] = {}
+            self.module_classes[mod.relpath] = {}
+            self.imports[mod.relpath] = self.project.import_table(mod)
+            self._collect_module(mod)
+        self._resolve_bases()
+
+    def _collect_module(self, mod: ModuleInfo) -> None:
+        for stmt in mod.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(mod, stmt, None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._add_class(mod, stmt)
+
+    def _add_function(self, mod: ModuleInfo, node,
+                      clsname: Optional[str]) -> FunctionInfo:
+        qual = (f"{mod.relpath}::{clsname}.{node.name}" if clsname
+                else f"{mod.relpath}::{node.name}")
+        info = FunctionInfo(qual, mod.relpath, node.name, clsname,
+                            node, node.lineno)
+        self.functions[qual] = info
+        if clsname is None:
+            self.module_functions[mod.relpath][node.name] = info
+        else:
+            self.methods_by_name.setdefault(node.name, []).append(info)
+        return info
+
+    def _add_class(self, mod: ModuleInfo, node: ast.ClassDef) -> None:
+        qual = f"{mod.relpath}::{node.name}"
+        info = ClassInfo(qual, mod.relpath, node.name, node, node.lineno)
+        for base in node.bases:
+            dotted = _dotted(base)
+            if dotted:
+                info.base_names.append(dotted)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods[stmt.name] = self._add_function(
+                    mod, stmt, node.name)
+        self.classes[qual] = info
+        self.module_classes[mod.relpath][node.name] = info
+
+    def _resolve_bases(self) -> None:
+        for cls in self.classes.values():
+            for base in cls.base_names:
+                resolved = self.resolve_class(cls.relpath, base)
+                if resolved is not None:
+                    cls.bases.append(resolved)
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+    def resolve_dotted(self, dotted: str, _depth: int = 0
+                       ) -> Optional[Union[FunctionInfo, ClassInfo,
+                                           ModuleInfo]]:
+        """Resolve a package-relative dotted path (``htm.node.
+        NodeController`` or ``htm.node``) to its symbol, chasing
+        ``__init__`` re-exports up to a small depth."""
+        if _depth > 4:
+            return None
+        mod = self.project.module_for_dotted(dotted)
+        if mod is not None:
+            return mod
+        if "." not in dotted:
+            return None
+        modpart, symbol = dotted.rsplit(".", 1)
+        mod = self.project.module_for_dotted(modpart)
+        if mod is None:
+            return None
+        found = (self.module_classes[mod.relpath].get(symbol)
+                 or self.module_functions[mod.relpath].get(symbol))
+        if found is not None:
+            return found
+        # re-export: the symbol was imported into mod (e.g. package
+        # __init__ re-exporting from a submodule)
+        target = self.imports[mod.relpath].get(symbol)
+        if target is not None:
+            return self.resolve_dotted(target, _depth + 1)
+        return None
+
+    def resolve_local(self, relpath: str, name: str, _depth: int = 0
+                      ) -> Optional[Union[FunctionInfo, ClassInfo,
+                                          ModuleInfo]]:
+        """Resolve a bare name used in ``relpath``: module-local
+        definition first, then the module's import table."""
+        found = (self.module_classes.get(relpath, {}).get(name)
+                 or self.module_functions.get(relpath, {}).get(name))
+        if found is not None:
+            return found
+        target = self.imports.get(relpath, {}).get(name)
+        if target is not None:
+            return self.resolve_dotted(target)
+        return None
+
+    def resolve_class(self, relpath: str,
+                      dotted: str) -> Optional[ClassInfo]:
+        """Resolve a (possibly dotted) class reference as used in a
+        base-class list inside ``relpath``."""
+        head, _, rest = dotted.partition(".")
+        sym = self.resolve_local(relpath, head)
+        if isinstance(sym, ModuleInfo) and rest:
+            sym = self.resolve_dotted(f"{sym.dotted}.{rest}"
+                                      if sym.dotted else rest)
+        return sym if isinstance(sym, ClassInfo) else None
+
+    def subclasses_of(self, root: ClassInfo) -> List[ClassInfo]:
+        """Every project class with ``root`` in its ancestry,
+        including ``root`` itself, in deterministic order."""
+        out = [cls for cls in self.classes.values()
+               if any(a.qualname == root.qualname for a in cls.mro())]
+        out.sort(key=lambda c: (c.relpath, c.lineno))
+        return out
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted name of an attribute/name chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""

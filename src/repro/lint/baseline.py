@@ -1,0 +1,181 @@
+"""Checked-in lint baseline: suppress known findings, with receipts.
+
+A baseline file (default ``lint-baseline.json`` at the repo root) is a
+list of suppression entries::
+
+    {
+      "version": 1,
+      "tool": "repro-lint",
+      "suppressions": [
+        {"rule": "deep-determinism-taint",
+         "path": "analysis/parallel.py",
+         "contains": "perf_counter",
+         "justification": "wall-seconds reporting only; never folded "
+                          "into Stats or the snapshot digest"}
+      ]
+    }
+
+Matching semantics, chosen so entries survive line churn:
+
+* ``rule`` — exact rule id (required);
+* ``path`` — posix path *suffix* of the violation path (required), so
+  the same file matches whether linted via the installed package or a
+  copied tree;
+* ``contains`` — optional substring of the violation message, to pin
+  an entry to one finding when a file has several of the same rule;
+* ``justification`` — required non-empty prose.  A suppression without
+  a *why* is a bug magnet; loading rejects it.
+
+No line numbers: a baseline keyed on lines would silently detach from
+its finding on every unrelated edit above it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.rules import Violation
+
+BASELINE_SCHEMA_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class BaselineError(Exception):
+    """The baseline file is unreadable, malformed, or unjustified."""
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One baselined finding."""
+
+    rule: str
+    path: str  # posix path suffix
+    justification: str
+    contains: Optional[str] = None
+
+    def matches(self, v: Violation) -> bool:
+        if v.rule != self.rule:
+            return False
+        vpath = v.path.replace("\\", "/")
+        if not (vpath == self.path or vpath.endswith("/" + self.path)):
+            return False
+        if self.contains is not None and self.contains not in v.message:
+            return False
+        return True
+
+    def to_dict(self) -> Dict[str, str]:
+        out = {"rule": self.rule, "path": self.path}
+        if self.contains is not None:
+            out["contains"] = self.contains
+        out["justification"] = self.justification
+        return out
+
+
+def load_baseline(path: Path) -> List[Suppression]:
+    """Parse a baseline file.  Raises :class:`BaselineError` on any
+    malformed or unjustified entry — a broken baseline must fail the
+    lint run loudly, not silently suppress nothing (or everything)."""
+    try:
+        raw = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise BaselineError(f"{path}: unreadable ({exc})")
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: invalid JSON ({exc})")
+    if not isinstance(raw, dict) or "suppressions" not in raw:
+        raise BaselineError(
+            f"{path}: expected an object with a 'suppressions' list")
+    entries = raw["suppressions"]
+    if not isinstance(entries, list):
+        raise BaselineError(f"{path}: 'suppressions' must be a list")
+    out: List[Suppression] = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise BaselineError(f"{path}: suppression #{i} is not an "
+                                f"object")
+        rule = entry.get("rule")
+        spath = entry.get("path")
+        just = entry.get("justification")
+        contains = entry.get("contains")
+        if not rule or not isinstance(rule, str):
+            raise BaselineError(
+                f"{path}: suppression #{i} needs a 'rule'")
+        if not spath or not isinstance(spath, str):
+            raise BaselineError(
+                f"{path}: suppression #{i} needs a 'path'")
+        if not just or not isinstance(just, str) or not just.strip():
+            raise BaselineError(
+                f"{path}: suppression #{i} ({rule} @ {spath}) has no "
+                f"justification — every baselined finding must say why")
+        if contains is not None and not isinstance(contains, str):
+            raise BaselineError(
+                f"{path}: suppression #{i}: 'contains' must be a string")
+        out.append(Suppression(rule=rule, path=spath.replace("\\", "/"),
+                               justification=just.strip(),
+                               contains=contains))
+    return out
+
+
+def apply_baseline(violations: Iterable[Violation],
+                   suppressions: List[Suppression]
+                   ) -> Tuple[List[Violation], List[Violation],
+                              List[Suppression]]:
+    """Split violations into (kept, suppressed) and report the
+    suppressions that matched nothing — stale entries should be pruned
+    so the baseline only ever shrinks by accident, never grows."""
+    kept: List[Violation] = []
+    suppressed: List[Violation] = []
+    used = [False] * len(suppressions)
+    for v in violations:
+        hit = False
+        for i, s in enumerate(suppressions):
+            if s.matches(v):
+                used[i] = True
+                hit = True
+        (suppressed if hit else kept).append(v)
+    unused = [s for i, s in enumerate(suppressions) if not used[i]]
+    return kept, suppressed, unused
+
+
+def write_baseline(path: Path, violations: Iterable[Violation],
+                   justification: str = "TODO: justify") -> int:
+    """Write a baseline covering the given findings (``repro lint
+    --write-baseline``).  Entries are deduplicated by (rule, path,
+    message) and stamped with a placeholder justification the author
+    is expected to replace before committing."""
+    entries: List[Dict[str, str]] = []
+    seen = set()
+    for v in sorted(violations, key=lambda v: (v.path, v.line, v.rule)):
+        vpath = v.path.replace("\\", "/")
+        # key on the message too: distinct findings in one file get
+        # distinct, individually-justifiable entries
+        key = (v.rule, vpath, v.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(Suppression(
+            rule=v.rule, path=vpath, contains=v.message,
+            justification=justification).to_dict())
+    doc = {"version": BASELINE_SCHEMA_VERSION, "tool": "repro-lint",
+           "suppressions": entries}
+    Path(path).write_text(json.dumps(doc, indent=1) + "\n")
+    return len(entries)
+
+
+def find_default_baseline(start: Optional[Path] = None) -> Optional[Path]:
+    """Walk up from ``start`` (default: cwd) looking for
+    ``lint-baseline.json``; None when no ancestor has one."""
+    cur = Path(start) if start is not None else Path.cwd()
+    cur = cur.resolve()
+    for candidate in [cur, *cur.parents]:
+        p = candidate / DEFAULT_BASELINE_NAME
+        if p.is_file():
+            return p
+    return None
+
+
+__all__ = ["BaselineError", "Suppression", "apply_baseline",
+           "find_default_baseline", "load_baseline", "write_baseline",
+           "BASELINE_SCHEMA_VERSION", "DEFAULT_BASELINE_NAME"]

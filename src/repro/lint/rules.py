@@ -42,11 +42,19 @@ from typing import Dict, List, Optional, Set, Tuple
 
 @dataclass(frozen=True)
 class Rule:
-    """One lint rule: id, applicability scope and summary."""
+    """One lint rule: id, applicability scope and summary.
+
+    ``rationale`` (``repro lint --explain <id>``) is the long-form
+    why: what breaks when the rule is violated, and what the
+    sanctioned alternative is.  Rules with scope ``deep`` are not
+    per-file AST patterns but whole-program passes run only under
+    ``repro lint --deep`` (see :mod:`repro.lint.analysis`).
+    """
 
     id: str
-    scope: str  # 'all' | 'sim-path' | 'pickle-boundary'
+    scope: str  # 'all' | 'sim-path' | 'pickle-boundary' | ... | 'deep'
     summary: str
+    rationale: str = ""
 
 
 RULES: Tuple[Rule, ...] = (
@@ -85,9 +93,161 @@ RULES: Tuple[Rule, ...] = (
     Rule("swallowed-error", "orchestration",
          "broad except handler (Exception/BaseException/bare) whose "
          "body only passes: log, count, or re-raise instead"),
+    # --- whole-program passes (repro lint --deep) ---------------------
+    Rule("deep-determinism-taint", "deep",
+         "nondeterminism source (wall clock, unseeded random, "
+         "id()/hash(), os.environ, unsorted set iteration) inside a "
+         "function that reaches engine scheduling, stats accumulation "
+         "or snapshot/digest construction"),
+    Rule("deep-handler-exhaustive", "deep",
+         "every MessageType code must have a registered handler in "
+         "each (directory, node) endpoint pairing, proven from the "
+         "dispatch-table literals"),
+    Rule("deep-snapshot-contract", "deep",
+         "SoA stats accumulators fold to str-keyed views only at the "
+         "property/snapshot/pickle boundary; event-path code never "
+         "touches a folded view"),
+    Rule("deep-pickle-capture", "deep",
+         "sweep-worker submissions take module-level callables and "
+         "never capture lambdas or live simulation objects"),
 )
 
+# Long-form why, surfaced by ``repro lint --explain <rule>``.
+RATIONALES: Dict[str, str] = {
+    "sim-rng":
+        "The global `random` module is a single process-wide stream: "
+        "any new caller shifts every draw after it, so an unrelated "
+        "change perturbs all workloads and the golden digests. "
+        "RngFactory hands each consumer its own stream seeded from "
+        "(master_seed, name), so runs reproduce bit-for-bit and new "
+        "consumers cannot disturb existing ones.",
+    "wall-clock":
+        "Simulated time is Simulator.now, advanced only by the event "
+        "heap. A wall-clock reading (time.time, datetime.now) folded "
+        "into results makes two identical runs differ, breaking the "
+        "canonical-snapshot equality the regression suite pins. "
+        "time.perf_counter is tolerated by this per-file rule for "
+        "wall-second *reporting*; the deep taint pass still flags it "
+        "inside sink-reaching functions.",
+    "set-iteration":
+        "Python set iteration order depends on insertion history and "
+        "per-process hash state. If event issue order, message "
+        "targets, or output rows derive from it, runs stop being "
+        "reproducible. sorted() fixes a total order; the lint also "
+        "flags tuple()/list() materialization of sets, which freezes "
+        "the nondeterministic order instead of removing it.",
+    "pickle-safe":
+        "Objects sent to sweep worker processes travel by pickle, and "
+        "pickle resolves functions by module-level name: lambdas and "
+        "nested defs fail at submission time — but only when a "
+        "parallel sweep actually runs, which is exactly when the "
+        "failure is most expensive. Keeping process-boundary modules "
+        "free of them makes every task picklable by construction.",
+    "float-eq":
+        "The simulator is cycle-accurate in integers; a float == "
+        "comparison in latency or cycle math silently depends on "
+        "rounding (0.1 + 0.2 != 0.3) and breaks on scale changes. "
+        "Compare ints, or use an explicit tolerance for derived "
+        "ratios.",
+    "mutable-default":
+        "A mutable default ([]/{}) is evaluated once and shared by "
+        "every call, so state leaks across calls — in a simulator, "
+        "across *runs* within one process, which defeats run "
+        "isolation. Default to None and construct inside the "
+        "function.",
+    "int-cycles":
+        "Event delays are heap keys; a float delay makes event "
+        "ordering depend on floating-point rounding and can interleave "
+        "events differently across platforms. Delays must stay "
+        "integer: use // or int().",
+    "sim-print":
+        "print() inside the simulated machine bypasses Stats/Tracer, "
+        "interleaves nondeterministically under parallel sweeps, and "
+        "is invisible to the result cache. Counters and trace events "
+        "are the sanctioned reporting channels.",
+    "sim-env":
+        "An os.environ read inside a sim-path function changes "
+        "behaviour without changing SystemConfig — the result cache "
+        "keys on config, so two env settings silently share one cache "
+        "entry. Read the environment once at import time or route "
+        "through config.",
+    "bare-except":
+        "A bare except: catches SystemExit and KeyboardInterrupt, so "
+        "a run that should die keeps limping. Name the exception "
+        "type.",
+    "dataclass-slots":
+        "A hot-path dataclass without __slots__ carries a per-instance "
+        "__dict__: extra allocation per event and a dict lookup per "
+        "attribute access. Pass slots=True, or disable with a "
+        "rationale when pickle/3.10 compatibility needs __dict__.",
+    "str-key-count":
+        "counts['NAME'] += 1 hashes a string per event. The SoA "
+        "accumulators exist to avoid exactly that: index by the dense "
+        "int code on the hot path and fold to names once, at the "
+        "snapshot boundary.",
+    "event-alloc":
+        "A dict/set literal or comprehension inside a per-event "
+        "function allocates on every message. Allocate once in "
+        "__init__ and reuse/.clear(), or hoist the construction out "
+        "of the event path; disable with a rationale when the path "
+        "is demonstrably cold.",
+    "swallowed-error":
+        "In orchestration code a broad except whose body only passes "
+        "turns a crashed sweep cell or corrupted cache entry into "
+        "quietly wrong aggregate numbers — the worst failure mode a "
+        "reproduction toolkit can have. Log it, count it, or narrow "
+        "the type.",
+    "deep-determinism-taint":
+        "Bit-reproducibility is the repo's correctness anchor: golden "
+        "digests and canonical snapshot SHAs assume two runs with one "
+        "seed are identical. This pass builds the project call graph, "
+        "computes every function from which engine scheduling, stats "
+        "accumulation or snapshot/digest construction is reachable, "
+        "and flags any nondeterminism source inside that region — "
+        "wall clock (including perf_counter there), unseeded random, "
+        "id()/hash(), os.environ, unsorted set iteration — unless "
+        "routed through sim.rng streams or an explicit sorted(). "
+        "Findings name a witness call chain to the sink.",
+    "deep-handler-exhaustive":
+        "A missed message handler is precisely the paper's bug class: "
+        "the protocol delivers information that conflict detection "
+        "never sees. Runtime wiring asserts coverage only when a "
+        "System is built, so a partial dispatch table in a scheme "
+        "plug-in survives until the first sweep that instantiates it. "
+        "This pass extracts the MessageType-keyed handler tables from "
+        "class __init__ bodies, applies inheritance, and proves every "
+        "(directory-class, node-class) pairing covers all codes 0..12 "
+        "with no double registration.",
+    "deep-snapshot-contract":
+        "The PR-6 folding contract: hot paths accumulate into dense "
+        "int-indexed arrays; the str-keyed views (messages_by_type, "
+        "dir_requests, puno_declines) are folded on read and must "
+        "appear only at property/snapshot/pickle boundaries. A folded "
+        "view touched in the event path reintroduces a Counter "
+        "allocation and string hashing per event; a str subscript on "
+        "an SoA array is a type confusion that reads zero forever. "
+        "Both silently corrupt performance or results, so the "
+        "boundary is proven statically.",
+    "deep-pickle-capture":
+        "A sweep task that captures a live System/Simulator/Network "
+        "(or any lambda/bound method) dies in pickle at submission "
+        "time — or worse, drags megabytes of heap through every "
+        "worker. The contract is specs-in, stats-out: workers rebuild "
+        "workloads from picklable WorkloadSpec descriptors. This pass "
+        "inspects executor submissions in the process-boundary "
+        "modules and flags captured live objects and non-module-level "
+        "callables.",
+}
+
+RULES = tuple(
+    Rule(r.id, r.scope, r.summary, RATIONALES.get(r.id, r.summary))
+    for r in RULES)
+
 RULES_BY_ID: Dict[str, Rule] = {r.id: r for r in RULES}
+
+#: Rules implemented as whole-program passes (``--deep``), never by
+#: the per-file checker.
+DEEP_RULE_IDS = frozenset(r.id for r in RULES if r.scope == "deep")
 
 # Files (package-relative, posix) exempt from sim-rng: the stream
 # factory itself is the one legitimate `random` consumer.

@@ -1,0 +1,128 @@
+"""SARIF 2.1.0 output for GitHub code scanning.
+
+One run, one tool (``repro-lint``), the full rule catalogue in
+``tool.driver.rules`` (so code-scanning renders rule help from the
+rationale text), one ``result`` per violation, and suppressed findings
+carried with ``suppressions`` entries so the UI shows them as
+baselined rather than dropping them silently.  Internal errors become
+``invocations[0].toolExecutionNotifications`` with
+``executionSuccessful: false`` — a crashed scan must not upload as a
+clean one.
+
+Paths are emitted repo-relative (posix) when a repo root is supplied,
+matching what the code-scanning UI expects for annotation placement.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.lint.rules import RULES, Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+_RULE_INDEX: Dict[str, int] = {r.id: i for i, r in enumerate(RULES)}
+
+
+def _rel_uri(path: str, repo_root: Optional[Path]) -> str:
+    p = Path(path)
+    if repo_root is not None:
+        try:
+            return p.resolve().relative_to(
+                Path(repo_root).resolve()).as_posix()
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def _result(v: Violation, repo_root: Optional[Path],
+            suppressed: bool) -> dict:
+    out = {
+        "ruleId": v.rule,
+        "ruleIndex": _RULE_INDEX.get(v.rule, -1),
+        "level": "error",
+        "message": {"text": v.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": _rel_uri(v.path, repo_root),
+                    "uriBaseId": "ROOT",
+                },
+                "region": {
+                    "startLine": max(v.line, 1),
+                    "startColumn": max(v.col + 1, 1),  # SARIF is 1-based
+                },
+            },
+        }],
+    }
+    if suppressed:
+        out["suppressions"] = [{"kind": "external",
+                                "justification": "lint-baseline.json"}]
+    return out
+
+
+def to_sarif(violations: Iterable[Violation],
+             errors: Iterable[str] = (),
+             suppressed: Iterable[Violation] = (),
+             repo_root: Optional[Path] = None) -> dict:
+    """Build the SARIF log object (a plain dict, json.dumps-ready)."""
+    errors = list(errors)
+    rules = [{
+        "id": r.id,
+        "name": "".join(w.capitalize() for w in r.id.split("-")),
+        "shortDescription": {"text": r.summary},
+        "fullDescription": {"text": r.rationale or r.summary},
+        "defaultConfiguration": {"level": "error"},
+        "properties": {"scope": r.scope},
+    } for r in RULES]
+    results = [_result(v, repo_root, suppressed=False)
+               for v in violations]
+    results += [_result(v, repo_root, suppressed=True)
+                for v in suppressed]
+    notifications = [{
+        "level": "error",
+        "message": {"text": e},
+        "descriptor": {"id": "internal-error"},
+    } for e in errors]
+    run = {
+        "tool": {
+            "driver": {
+                "name": "repro-lint",
+                "informationUri":
+                    "https://example.invalid/repro-lint",
+                "version": "1.0.0",
+                "rules": rules,
+            },
+        },
+        "results": results,
+        "invocations": [{
+            "executionSuccessful": not errors,
+            "toolExecutionNotifications": notifications,
+        }],
+        "columnKind": "utf16CodeUnits",
+    }
+    if repo_root is not None:
+        run["originalUriBaseIds"] = {
+            "ROOT": {"uri": Path(repo_root).resolve().as_uri() + "/"},
+        }
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }
+
+
+def render_sarif(violations: Iterable[Violation],
+                 errors: Iterable[str] = (),
+                 suppressed: Iterable[Violation] = (),
+                 repo_root: Optional[Path] = None) -> str:
+    return json.dumps(
+        to_sarif(violations, errors=errors, suppressed=suppressed,
+                 repo_root=repo_root), indent=1)
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "render_sarif", "to_sarif"]

@@ -357,6 +357,83 @@ def test_disable_comment_other_rule_keeps_violation():
     assert "sim-rng" in {v.rule for v in _violations(src)}
 
 
+def test_disable_on_first_line_covers_wrapped_statement():
+    # the violation (the random call) sits on a continuation line, the
+    # comment on the statement's first line — it must still apply
+    src = ("import random\n"
+           "x = compute(  # lint: disable=sim-rng\n"
+           "    random.random(),\n"
+           "    other,\n"
+           ")\n")
+    assert "sim-rng" not in _rules_hit(src)
+
+
+def test_disable_on_first_line_multiline_tuple():
+    src = ("s = {1, 2}\n"
+           "pair = (  # lint: disable=set-iteration\n"
+           "    tuple(s),\n"
+           ")\n")
+    assert "set-iteration" not in _rules_hit(src)
+
+
+def test_disable_on_decorated_def_line():
+    # dataclass-slots anchors at the `class` line, but the comment may
+    # sit on the decorator (the statement's first physical line)
+    src = ("from dataclasses import dataclass\n"
+           "@dataclass  # lint: disable=dataclass-slots\n"
+           "class C:\n"
+           "    x: int\n")
+    assert "dataclass-slots" not in _rules_hit(src)
+
+
+def test_disable_on_def_header_does_not_blanket_body():
+    # a disable on a compound statement's header covers the header
+    # only — violations inside the body still fire
+    src = ("import random\n"
+           "def f():  # lint: disable=sim-rng\n"
+           "    return random.random()\n")
+    assert "sim-rng" in _rules_hit(src)
+
+
+def test_disable_wrong_rule_on_first_line_keeps_violation():
+    src = ("import random\n"
+           "x = compute(  # lint: disable=sim-print\n"
+           "    random.random(),\n"
+           ")\n")
+    assert "sim-rng" in _rules_hit(src)
+
+
+# ---------------------------------------------------------------------
+# rule-crash containment (exit code 2)
+# ---------------------------------------------------------------------
+
+def test_rule_crash_reports_error_and_keeps_scanning(tmp_path,
+                                                     monkeypatch):
+    import repro.lint.runner as runner_mod
+    real_checker = runner_mod.FileChecker
+
+    class ExplodingChecker(real_checker):
+        def run(self):
+            if "boom" in self.path:
+                raise RuntimeError("rule exploded mid-visit")
+            return super().run()
+
+    monkeypatch.setattr(runner_mod, "FileChecker", ExplodingChecker)
+    crash = tmp_path / "a_boom.py"
+    crash.write_text("x = 1\n")
+    dirty = tmp_path / "b_dirty.py"
+    dirty.write_text(FIXTURES["sim-rng"])
+    report = runner_mod.lint_paths([crash, dirty])
+    # the crash is an error, not a silent skip...
+    assert report.exit_code == 2
+    assert any("rule crashed" in e and "RuntimeError" in e
+               for e in report.errors)
+    # ...and the scan continued: the second file's finding is present
+    assert any(v.rule == "sim-rng" for v in report.violations)
+    assert report.files_scanned == 1
+    assert "error:" in report.render_text()
+
+
 # ---------------------------------------------------------------------
 # report formats / CLI exit codes
 # ---------------------------------------------------------------------
