@@ -21,7 +21,9 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import os
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -34,6 +36,16 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:
 # The STAMP-tour cells the end-to-end phase measures (workload, scheme).
 TOUR_CELLS = (("intruder", "baseline"), ("intruder", "puno"),
               ("vacation", "puno"))
+
+# The mesh_scaling phase: (num_nodes, zipf scale) per mesh size.  The
+# scale halves as the node count quadruples so per-size wall time stays
+# bounded while total simulated work still grows with the mesh.
+MESH_SCALING_SIZES = ((16, 0.4), (64, 0.2), (256, 0.1), (1024, 0.05))
+
+# Allowed events/sec falloff from the 64-node rate to the 1024-node
+# rate: with O(N)-memory routing the per-event cost must stay nearly
+# flat, so a >3x drop means something quadratic crept back in.
+MESH_SCALING_FALLOFF_LIMIT = 3.0
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -221,6 +233,68 @@ def bench_int_dispatch(n: int, repeats: int) -> dict:
 
 
 # ---------------------------------------------------------------------
+# phase 4c: mesh scale-out (16 -> 1024 nodes, one subprocess per size)
+# ---------------------------------------------------------------------
+
+# Runs in a fresh interpreter so ru_maxrss — which is monotonic over a
+# process lifetime — reports the peak of THIS size alone, not of
+# whatever bigger mesh ran earlier in the benchmark process.
+_MESH_CELL_SNIPPET = r"""
+import json, resource, sys, time
+nodes, scale = int(sys.argv[1]), float(sys.argv[2])
+from repro.sim.config import scaled_config
+from repro.system import System
+from repro.workloads.families import make_zipf_workload
+wl = make_zipf_workload(num_nodes=nodes, scale=scale, seed=0,
+                        lines=8 * nodes)
+system = System(scaled_config(nodes, seed=1), wl, "baseline")
+t0 = time.perf_counter()
+system.run()
+wall = time.perf_counter() - t0
+print(json.dumps({
+    "events": system.sim.events_processed,
+    "wall": wall,
+    "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "route_tables": system.mesh.has_tables,
+}))
+"""
+
+
+def _run_mesh_cell(nodes: int, scale: float) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _MESH_CELL_SNIPPET, str(nodes), str(scale)],
+        capture_output=True, text=True, env=env, check=True)
+    return json.loads(proc.stdout)
+
+
+def bench_mesh_scaling(repeats: int) -> dict:
+    """Events/sec and peak RSS per mesh size, one subprocess per run.
+
+    Rates are best-of-``repeats``; peak RSS is the max over repeats
+    (it is a property of the size, not of scheduler luck)."""
+    out = {}
+    for nodes, scale in MESH_SCALING_SIZES:
+        best_rate = 0.0
+        peak_rss = 0
+        events = 0
+        tables = None
+        for _ in range(repeats):
+            cell = _run_mesh_cell(nodes, scale)
+            best_rate = max(best_rate, cell["events"] / cell["wall"])
+            peak_rss = max(peak_rss, cell["peak_rss_kb"])
+            events = cell["events"]
+            tables = cell["route_tables"]
+        out[str(nodes)] = {"nodes": nodes, "scale": scale,
+                           "events": events,
+                           "events_per_sec": best_rate,
+                           "peak_rss_kb": peak_rss,
+                           "route_tables": tables}
+    return out
+
+
+# ---------------------------------------------------------------------
 # phase 5: end-to-end STAMP tour
 # ---------------------------------------------------------------------
 
@@ -279,7 +353,8 @@ def bench_end_to_end(scale: float, repeats: int) -> dict:
 # driver
 # ---------------------------------------------------------------------
 
-def run_benchmarks(scale: float, repeats: int, micro_n: int) -> dict:
+def run_benchmarks(scale: float, repeats: int, micro_n: int,
+                   mesh_repeats: int = 1) -> dict:
     report = {
         "schema": 1,
         "bench": "hotpath",
@@ -294,6 +369,7 @@ def run_benchmarks(scale: float, repeats: int, micro_n: int) -> dict:
             "dispatch": bench_dispatch(micro_n, repeats),
             "int_dispatch": bench_int_dispatch(micro_n, repeats),
         },
+        "mesh_scaling": bench_mesh_scaling(mesh_repeats),
         "end_to_end": bench_end_to_end(scale, repeats),
     }
     return report
@@ -323,8 +399,50 @@ def check_against(report: dict, baseline_path: Path,
             print(f"perf check FAILED: gross event-rate regression "
                   f"against the {label}")
             status = 1
+    status |= check_mesh_scaling(report, baseline, tolerance)
     if status == 0:
         print("perf check OK")
+    return status
+
+
+def check_mesh_scaling(report: dict, baseline: dict,
+                       tolerance: float = 2.0) -> int:
+    """Per-size event-rate floor against the baseline, plus the
+    scale-out contract: the 1024-node rate must stay within
+    ``MESH_SCALING_FALLOFF_LIMIT``x of the 64-node rate."""
+    fresh = report.get("mesh_scaling", {})
+    base = baseline.get("mesh_scaling", {})
+    if not fresh:
+        print("mesh check skipped: no mesh_scaling phase in the fresh "
+              "report")
+        return 0
+    status = 0
+    for size, cell in sorted(fresh.items(), key=lambda kv: int(kv[0])):
+        rate = cell["events_per_sec"]
+        ref = base.get(size, {}).get("events_per_sec")
+        if ref is None:
+            print(f"mesh check {size:>5} nodes: {rate:.0f} ev/s "
+                  f"(no baseline — floor skipped)")
+            continue
+        ratio = ref / rate if rate else float("inf")
+        print(f"mesh check {size:>5} nodes: {rate:.0f} ev/s vs baseline "
+              f"{ref:.0f} ev/s (slowdown {ratio:.2f}x, "
+              f"limit {tolerance:.1f}x)")
+        if ratio > tolerance:
+            print(f"mesh check FAILED: event-rate regression at "
+                  f"{size} nodes")
+            status = 1
+    r64 = fresh.get("64", {}).get("events_per_sec")
+    r1024 = fresh.get("1024", {}).get("events_per_sec")
+    if r64 and r1024:
+        falloff = r64 / r1024
+        print(f"mesh check scale-out: 64-node {r64:.0f} ev/s -> "
+              f"1024-node {r1024:.0f} ev/s (falloff {falloff:.2f}x, "
+              f"limit {MESH_SCALING_FALLOFF_LIMIT:.1f}x)")
+        if falloff > MESH_SCALING_FALLOFF_LIMIT:
+            print("mesh check FAILED: 1024-node event rate fell off the "
+                  "scale-out contract")
+            status = 1
     return status
 
 
@@ -394,11 +512,19 @@ def main(argv=None) -> int:
     else:
         reference = _load_reference(args.out, args.check)
 
-    report = run_benchmarks(scale, args.repeats, micro_n)
+    mesh_repeats = 1 if args.quick else min(args.repeats, 2)
+    report = run_benchmarks(scale, args.repeats, micro_n,
+                            mesh_repeats=mesh_repeats)
     if reference:
         report["reference_pre_pr"] = reference
 
     args.out.write_text(json.dumps(report, indent=1) + "\n")
+    for size, r in sorted(report["mesh_scaling"].items(),
+                          key=lambda kv: int(kv[0])):
+        print(f"mesh {size:>5} nodes: {r['events']} events @ "
+              f"{r['events_per_sec']:.0f} ev/s  "
+              f"peak RSS {r['peak_rss_kb'] / 1024:.0f} MB  "
+              f"({'table' if r['route_tables'] else 'computed'} routing)")
     e2e = report["end_to_end"]
     for cell in (f"{w}/{s}" for w, s in TOUR_CELLS):
         r = e2e[cell]

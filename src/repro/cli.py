@@ -367,10 +367,36 @@ def cmd_scenario(args) -> int:
 
 def cmd_golden(args) -> int:
     from repro.scenarios.golden import (
+        SCALE_SCENARIOS,
         check_golden,
+        check_scale_golden,
         compute_golden_digests,
+        compute_scale_digests,
         save_golden,
+        save_scale_golden,
     )
+    scenarios = SCALE_SCENARIOS
+    if args.scenarios:
+        scenarios = tuple(s for s in args.scenarios.split(",") if s)
+    if args.scale:
+        if args.update:
+            digests = compute_scale_digests(verbose=not args.json,
+                                            scenarios=scenarios)
+            path = save_scale_golden(digests, args.file)
+            print(f"pinned {len(digests)} scale digest(s) to {path}")
+            return 0
+        try:
+            report = check_scale_golden(args.file, verbose=not args.json,
+                                        scenarios=scenarios)
+        except (FileNotFoundError, KeyError):
+            print(f"no scale section in {args.file}; pin it with "
+                  f"'repro golden --scale --update'", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=1))
+        else:
+            print(report.describe())
+        return 0 if report.ok else 1
     if args.update:
         digests = compute_golden_digests(verbose=not args.json)
         path = save_golden(digests, args.file)
@@ -653,6 +679,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "behaviour change)")
     gold_p.add_argument("--file", default="tests/golden/golden.json",
                         help="golden file location")
+    gold_p.add_argument("--scale", action="store_true",
+                        help="check (or --update pin) the scale "
+                             "section: sanitized smoke cells of the "
+                             "paper-256/paper-1024 scenarios")
+    gold_p.add_argument("--scenarios", default="",
+                        help="with --scale: comma-separated subset of "
+                             "the scale scenarios to run (default all)")
     gold_p.add_argument("--json", action="store_true",
                         help="print the report as JSON")
 

@@ -17,9 +17,10 @@ UD pointer off the critical path after each service.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, Optional, Tuple
+from typing import Optional, Tuple
 
+from repro.coherence.dirstore import DirEntry, DirEntryPool, DirStore, \
+    EntriesView
 from repro.coherence.states import DirState
 from repro.core.bitset import bit_tuple
 from repro.network.message import Message, MessageType, make_put_ack
@@ -28,32 +29,8 @@ from repro.sim.config import SystemConfig
 from repro.sim.engine import Simulator
 from repro.sim.stats import Stats
 
-
-class DirEntry:
-    """Directory state for one cache line.
-
-    ``sharers`` is an integer bitmask (bit ``n`` = node ``n`` shares
-    the line): membership, add/remove and clear are int ops with no
-    per-event container allocation, and the representation stays one
-    object at any mesh width.
-    """
-
-    __slots__ = ("state", "sharers", "owner", "value", "in_l2", "blocked",
-                 "waitq", "service", "ud", "tx_readers")
-
-    def __init__(self) -> None:
-        self.state: DirState = DirState.I
-        self.sharers: int = 0
-        self.owner: Optional[int] = None
-        self.value: int = 0
-        self.in_l2: bool = False  # False until first touch (memory fetch)
-        self.blocked: bool = False
-        self.waitq: Deque[Tuple[Message, int]] = deque()  # (msg, arrival)
-        self.service: Optional["ServiceRecord"] = None
-        self.ud: Optional[int] = None  # PUNO unicast-destination pointer
-        # PUNO reader-epoch metadata: sharer -> timestamp of the
-        # transaction whose request added it to the sharer list.
-        self.tx_readers: dict = {}
+__all__ = ["DirEntry", "DirEntryPool", "DirectoryController",
+           "ServiceRecord"]
 
 
 class ServiceRecord:
@@ -87,7 +64,8 @@ class DirectoryController:
     """The home directory + L2 slice of one node."""
 
     def __init__(self, sim: Simulator, node: int, config: SystemConfig,
-                 network: Network, stats: Stats, puno=None):
+                 network: Network, stats: Stats, puno=None,
+                 pool: Optional[DirEntryPool] = None):
         self.sim = sim
         self.node = node
         self.config = config
@@ -96,7 +74,16 @@ class DirectoryController:
         self._dir_req_counts = stats._dir_req_counts  # SoA accumulator
         self.puno = puno  # Optional[repro.core.puno.DirectoryPUNO]
         self.san = None  # Optional[repro.sanitize.sanitizer.ProtocolSanitizer]
-        self.entries: Dict[int, DirEntry] = {}
+        # Address-interned entry storage; the pool is usually shared by
+        # every bank in the system (System passes one), so retired
+        # entries recirculate globally.  ``entries`` keeps the mapping
+        # interface for audits/sanitizer/tests; the handlers below go
+        # through the bound store internals.
+        self.store = DirStore(pool)
+        self.entries = EntriesView(self.store)
+        self._slots = self.store._slots
+        self._live = self.store._live
+        self._obtain = self.store.obtain
         # Per-instance message dispatch (bound methods, built once).
         self.handlers = {
             MessageType.GETS: self._enqueue_or_service,
@@ -116,22 +103,15 @@ class DirectoryController:
         handler(msg)
 
     def entry(self, addr: int) -> DirEntry:
-        e = self.entries.get(addr)
-        if e is None:
-            e = DirEntry()
-            self.entries[addr] = e
-        return e
+        return self._obtain(addr)
 
     # ------------------------------------------------------------------
     # request dispatch / queueing
     # ------------------------------------------------------------------
     def _enqueue_or_service(self, msg: Message) -> None:
-        # Inlined ``entry()`` get-or-create: one request arrives here
-        # per coherence transaction, so skip the extra method call.
-        addr = msg.addr
-        entry = self.entries.get(addr)
-        if entry is None:
-            entry = self.entries[addr] = DirEntry()
+        # One store call does get-or-create (and revives a retired
+        # line with its preserved value/in-L2 bits).
+        entry = self._obtain(msg.addr)
         if entry.blocked:
             entry.waitq.append((msg, self.sim.now))
             return
@@ -372,12 +352,23 @@ class DirectoryController:
         # else: stale writeback (ownership already moved on) — drop it.
         ack = make_put_ack(msg.addr, self.node, msg.src, msg.req_id)
         self.network.send(ack, extra_delay=self.config.directory_latency)
+        # A non-sticky writeback settles the line to I with nothing
+        # queued: retire the entry to the pool.  Skipped under the
+        # sanitizer — its deferred line checks must still find the
+        # entry after the event boundary.  When this PUT was drained
+        # from an unblock loop, the loop's own retire attempt later is
+        # an identity-checked no-op.
+        if (self.san is None and entry.state is DirState.I
+                and not entry.blocked and not entry.waitq):
+            self.store.retire(msg.addr, entry)
 
     # ------------------------------------------------------------------
     # UNBLOCK / WB_DATA
     # ------------------------------------------------------------------
     def _handle_unblock(self, msg: Message) -> None:
-        entry = self.entries[msg.addr]
+        # The entry is blocked on this service, so it is necessarily
+        # live: index the store internals directly.
+        entry = self._live[self._slots[msg.addr]]
         rec = entry.service
         assert rec is not None and entry.blocked, f"spurious UNBLOCK {msg}"
         if (rec.kind == "gets" and rec.owner_path and msg.success
@@ -487,6 +478,7 @@ class DirectoryController:
     def _unblock(self, entry: DirEntry) -> None:
         rec = entry.service
         assert rec is not None
+        addr = rec.msg.addr
         blocked_for = self.sim.now - rec.block_start
         self.stats.dir_blocked_cycles_total += blocked_for
         if rec.is_txgetx:
@@ -501,3 +493,10 @@ class DirectoryController:
             nxt, arrived = entry.waitq.popleft()
             self.stats.dir_queue_wait_cycles += self.sim.now - arrived
             self._service(nxt, entry)
+        # Settled back to I with nothing queued (e.g. a multicast fail
+        # with no survivors): retire to the pool.  See _service_put for
+        # the sanitizer gate; the identity check inside retire makes
+        # this a no-op if a drained PUT already retired it.
+        if (self.san is None and not entry.blocked and not entry.waitq
+                and entry.state is DirState.I):
+            self.store.retire(addr, entry)

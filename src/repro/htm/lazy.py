@@ -200,8 +200,8 @@ class LazyNodeController(NodeController):
         self.commit_token.release(self.node)
         tx.status = TxStatus.COMMITTED
         dyn_len = self.sim.now - tx.attempt_start
-        self.nstats.tx_committed += 1
-        self.nstats.good_cycles += dyn_len
+        self._ns_tx_committed[self.node] += 1
+        self._ns_good_cycles[self.node] += dyn_len
         self.txlb.update(tx.static_id, max(1, dyn_len - tx.stall_cycles))
         self.committed_increments += self._attempt_increments
         self.l1.unpin_all(tx.read_set | tx.write_set)

@@ -78,7 +78,21 @@ class NodeController:
         self.config = config
         self.network = network
         self.stats = stats
-        self.nstats = stats.nodes[node]
+        self.nstats = stats.nodes[node]  # write-through view (cold paths)
+        # Per-node SoA hot bindings: the counters live in flat arrays
+        # on Stats (see repro.sim.stats), so each bump below is one
+        # list-element increment, not a view-property round trip.
+        self._ns_tx_started = stats._ns_tx_started
+        self._ns_tx_attempts = stats._ns_tx_attempts
+        self._ns_tx_committed = stats._ns_tx_committed
+        self._ns_tx_aborted = stats._ns_tx_aborted
+        self._ns_good_cycles = stats._ns_good_cycles
+        self._ns_discarded_cycles = stats._ns_discarded_cycles
+        self._ns_backoff_cycles = stats._ns_backoff_cycles
+        self._ns_stall_cycles = stats._ns_stall_cycles
+        self._ns_nacks_received = stats._ns_nacks_received
+        self._ns_nacks_sent = stats._ns_nacks_sent
+        self._abort_causes = stats._ns_aborts_by_cause[node]
         self.cm = cm
         self.program = program
         self.on_done = on_done
@@ -189,10 +203,10 @@ class NodeController:
             # Timestamp assigned once per dynamic instance, retained
             # across re-executions (time-based policy, Section II-B).
             self._instance_ts = self.sim.now
-            self.nstats.tx_started += 1
+            self._ns_tx_started[self.node] += 1
             self._instance_seq += 1
         self._attempt += 1
-        self.nstats.tx_attempts += 1
+        self._ns_tx_attempts[self.node] += 1
         self.tx = Transaction(
             node=self.node, static_id=inst.static_id,
             instance_id=self._instance_seq, timestamp=self._instance_ts,
@@ -240,8 +254,8 @@ class NodeController:
         if self.san is not None:
             self.san.check_undo_log(self, tx)
         dyn_len = self.sim.now - tx.attempt_start
-        self.nstats.tx_committed += 1
-        self.nstats.good_cycles += dyn_len
+        self._ns_tx_committed[self.node] += 1
+        self._ns_good_cycles[self.node] += dyn_len
         # TxLB tracks the *running* length; stall time is not running.
         self.txlb.update(tx.static_id, max(1, dyn_len - tx.stall_cycles))
         if self.san is not None:
@@ -273,8 +287,8 @@ class NodeController:
         if self.san is not None:
             self.san.check_undo_log(self, tx)
         tx.doom(cause)
-        self.nstats.discarded_cycles += self.sim.now - tx.attempt_start
-        self.nstats.aborts_by_cause[cause] += 1
+        self._ns_discarded_cycles[self.node] += self.sim.now - tx.attempt_start
+        self._abort_causes[cause] += 1
         self._prev_footprint = frozenset(tx.read_set | tx.write_set)
         if self.stats.tracer is not None:
             self.stats.tracer.emit(
@@ -304,7 +318,7 @@ class NodeController:
         tx = self.tx
         assert tx is not None and tx.doomed
         tx.status = TxStatus.ABORTED
-        self.nstats.tx_aborted += 1
+        self._ns_tx_aborted[self.node] += 1
         self._consecutive_aborts += 1
         if tx.abort_cause == "capacity":
             self._capacity_aborts_row += 1
@@ -320,7 +334,7 @@ class NodeController:
         htm = self.config.htm
         recovery = htm.abort_base_cost + htm.abort_per_entry_cost * len(tx.write_set)
         backoff = self.cm.restart_backoff(self.node, self._consecutive_aborts)
-        self.nstats.backoff_cycles += backoff
+        self._ns_backoff_cycles[self.node] += backoff
         self.tx = None
         self._pending = self.sim.schedule(recovery + backoff,
                                           self._begin_attempt)
@@ -458,7 +472,7 @@ class NodeController:
                 m.aborted_acks += 1
         else:  # NACK
             m.nacks.append(msg)
-            self.nstats.nacks_received += 1
+            self._ns_nacks_received[self.node] += 1
         # completion checks
         if msg.terminal:
             self._complete(m, success=mtype is not MessageType.NACK,
@@ -581,7 +595,7 @@ class NodeController:
         else:
             backoff = self.cm.nack_backoff(self.node, self._op_retries,
                                            m.max_t_est(), is_tx_op)
-        self.nstats.stall_cycles += backoff
+        self._ns_stall_cycles[self.node] += backoff
         if is_tx_op and tx is not None:
             tx.stall_cycles += backoff
         self._pending = self.sim.schedule(backoff, self._retry, op)
@@ -689,7 +703,7 @@ class NodeController:
                 terminal=True, u_bit=True, mp_bit=mp,
                 t_est=-1 if mp else self._notification(),
             )
-            self.nstats.nacks_sent += 1
+            self._ns_nacks_sent[self.node] += 1
             self.network.send(resp, extra_delay=1)
             return
 
@@ -703,7 +717,7 @@ class NodeController:
                 terminal=msg.terminal, acks_expected=msg.acks_expected,
                 t_est=self._notification() if notify else -1,
             )
-            self.nstats.nacks_sent += 1
+            self._ns_nacks_sent[self.node] += 1
             self.network.send(resp, extra_delay=1)
             return
 
@@ -748,7 +762,7 @@ class NodeController:
                 addr, self.node, msg.requester, msg.req_id,
                 terminal=True, t_est=self._notification(),
             )
-            self.nstats.nacks_sent += 1
+            self._ns_nacks_sent[self.node] += 1
             self.network.send(resp, extra_delay=1)
             return
         aborted = False

@@ -376,19 +376,31 @@ class HandlerExhaustivenessPass:
 
 #: The fold-on-read views over the SoA accumulators; touching one in
 #: per-event code allocates and hashes a full Counter per call.
+#: ``nodes`` joined in PR 8: the per-node block became SoA arrays with
+#: ``stats.nodes`` a list of write-through views — hot paths bind the
+#: flat ``_ns_*`` arrays at construction instead of walking views.
 FOLDED_VIEWS = frozenset({"messages_by_type", "dir_requests",
-                          "puno_declines"})
+                          "puno_declines", "nodes"})
 
 #: The dense int-indexed accumulators; a str subscript on one is a
 #: category error (the str keying exists only in the folded views).
 SOA_FIELDS = frozenset({"_msg_counts", "_dir_req_counts",
                         "_puno_decline_counts"})
 
+#: Per-node SoA accumulators all share this prefix (one flat list per
+#: field on Stats, indexed by node id); they obey the same no-str-
+#: subscript contract as SOA_FIELDS without enumerating every field.
+SOA_PREFIXES = ("_ns_",)
+
+#: The fold helpers: callable only at the designated boundaries.
+FOLD_HELPERS = frozenset({"_fold_type_counts", "_fold_node_stats"})
+
 #: Functions in sim/stats.py that legitimately fold (the property
 #: getters, the snapshot boundary, and pickle migration).
 FOLD_BOUNDARY_FUNCS = frozenset({
     "messages_by_type", "dir_requests", "puno_declines", "snapshot",
     "summary", "__getstate__", "__setstate__", "_fold_type_counts",
+    "_fold_node_stats",
 })
 
 #: Classes whose live instances must never cross the sweep-worker
@@ -431,17 +443,29 @@ class SnapshotContractPass:
 
     # -- folded views in the event path --------------------------------
     def _check_event_path(self, mod: ModuleInfo) -> List[Violation]:
+        from repro.lint.rules import EVENT_ALLOC_EXEMPT_FUNCS
+
+        # Construction-time binding (``self.nstats = stats.nodes[n]``
+        # in __init__) is the sanctioned idiom; only per-event access
+        # is a violation, so exempt the one-time-allocation functions.
+        exempt_lines: Set[int] = set()
+        for fnode in ast.walk(mod.tree):
+            if (isinstance(fnode, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and fnode.name in EVENT_ALLOC_EXEMPT_FUNCS):
+                end = getattr(fnode, "end_lineno", fnode.lineno)
+                exempt_lines.update(range(fnode.lineno, end + 1))
         out: List[Violation] = []
         for node in ast.walk(mod.tree):
             if (isinstance(node, ast.Attribute)
-                    and node.attr in FOLDED_VIEWS):
+                    and node.attr in FOLDED_VIEWS
+                    and node.lineno not in exempt_lines):
                 out.append(Violation(
                     mod.path, node.lineno, node.col_offset, self.rule,
-                    f"folded str-keyed view .{node.attr} accessed in "
-                    f"the event-path scope; it allocates a Counter per "
-                    f"call — use the dense accumulator "
-                    f"(stats._msg_counts[code]) and fold at the "
-                    f"snapshot boundary"))
+                    f"folded view .{node.attr} accessed in the "
+                    f"event-path scope; views exist for cold paths — "
+                    f"use the dense accumulator "
+                    f"(stats._msg_counts[code], stats._ns_<field>[n]) "
+                    f"and fold at the snapshot boundary"))
         return out
 
     # -- fold boundary --------------------------------------------------
@@ -460,7 +484,8 @@ class SnapshotContractPass:
         for node in ast.walk(mod.tree):
             if (isinstance(node, ast.Subscript)
                     and isinstance(node.value, ast.Attribute)
-                    and node.value.attr in SOA_FIELDS
+                    and (node.value.attr in SOA_FIELDS
+                         or node.value.attr.startswith(SOA_PREFIXES))
                     and isinstance(node.slice, ast.Constant)
                     and isinstance(node.slice.value, str)):
                 out.append(Violation(
@@ -470,13 +495,13 @@ class SnapshotContractPass:
                     f"the str keying exists only in the folded views"))
             elif (isinstance(node, ast.Call)
                   and isinstance(node.func, ast.Attribute)
-                  and node.func.attr == "_fold_type_counts"):
+                  and node.func.attr in FOLD_HELPERS):
                 where = encl.get(node.lineno, "")
                 if not (fold_ok and where in FOLD_BOUNDARY_FUNCS):
                     out.append(Violation(
                         mod.path, node.lineno, node.col_offset,
                         self.rule,
-                        f"_fold_type_counts() called outside the "
+                        f"{node.func.attr}() called outside the "
                         f"property/snapshot/pickle boundary "
                         f"(in {where or 'module scope'!r}); folding "
                         f"belongs to sim/stats.py"))

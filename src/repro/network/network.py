@@ -13,7 +13,10 @@ in the simulator.  Four things keep it lean:
 
 * all per-(src, dst) route/latency/traversal quantities come from the
   precomputed :class:`repro.network.topology.Mesh` tables (flat lists
-  indexed ``src * n + dst``) instead of per-message route walks;
+  indexed ``src * n + dst``) when the mesh is small enough to carry
+  them; past ``ROUTE_TABLE_MAX_NODES`` the topology runs table-free
+  and ``_send_computed`` derives the same quantities per message from
+  ``mesh.pair_cost`` (a handful of integer ops, O(N) total memory);
 * everything keyed by message type indexes flat lists with the dense
   ``MessageType`` int code — flit counts (``_msg_flits``), the stats
   accumulator (``Stats._msg_counts``), and the delivery handler itself
@@ -23,20 +26,28 @@ in the simulator.  Four things keep it lean:
   (via the Event-free ``Simulator.call_later`` — deliveries are never
   cancelled), so delivery costs zero intermediate Python calls;
 * the sanitizer check is hoisted out entirely: assigning ``san``
-  switches the instance between ``_send_fast`` and ``_send_full`` (the
-  same shadowing trick ``engine.run`` uses for ``post_event``), so
-  unsanitized runs never test ``san is None`` per message.
+  switches the instance between the mode-selected fast send and
+  ``_send_full`` (the same shadowing trick ``engine.run`` uses for
+  ``post_event``), so unsanitized runs never test ``san is None`` per
+  message.
+
+Per-pair flit accounting follows the same split: table mode uses a
+flat ``n*n`` list (dense, tiny), computed mode a dict keyed by the
+same ``src * n + dst`` index — at 1024 nodes real runs touch a sparse
+subset of the 1M pairs, so the dict is both smaller and O(active
+pairs) to expand in ``router_flits``.
 """
 
 from __future__ import annotations
 
 from heapq import heappush
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, \
+    Union
 
 from repro.network.message import DATA_TYPES, Message, MessageType, \
     N_MESSAGE_TYPES
-from repro.network.topology import Mesh
+from repro.network.topology import ClusterMesh, Mesh
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # Stats imports message's code tables: import only
@@ -46,8 +57,8 @@ if TYPE_CHECKING:  # Stats imports message's code tables: import only
 class Network:
     """Analytic-latency mesh interconnect."""
 
-    def __init__(self, sim: Simulator, mesh: Mesh, stats: "Stats",
-                 config=None):
+    def __init__(self, sim: Simulator, mesh: Union[Mesh, ClusterMesh],
+                 stats: "Stats", config=None):
         self.sim = sim
         self.mesh = mesh
         self.stats = stats
@@ -62,8 +73,6 @@ class Network:
         self._n = mesh.num_nodes
         # pre-bound hot references: one load each per send
         self._schedule = sim.call_later  # cold paths / introspection
-        self._mesh_lat = mesh._lat
-        self._mesh_trav = mesh._trav
         self._msg_counts = stats._msg_counts
         # Flat dispatch: handler for (dst, type) at [dst * N + code].
         # Registered tables route each type straight to the owning
@@ -73,13 +82,26 @@ class Network:
             [None] * (self._n * N_MESSAGE_TYPES)
         self._endpoints: Dict[int, Callable[[Message], None]] = {}
         self._san = None  # Optional[ProtocolSanitizer]
-        self.send = self._send_fast
         self.messages_sent = 0
-        # Per-(src, dst) flit counts; expanded to per-router traversals
-        # lazily by the router_flits property (hotspot analysis is
-        # post-run, so the hot path pays one list increment, not a
-        # route walk).
-        self._pair_flits = [0] * (self._n * self._n)
+        # Mode selection: table sends index the mesh's flat per-pair
+        # lists; computed sends call mesh.pair_cost.  Both charge the
+        # identical analytic quantities (pinned by test_topology), so
+        # the digest stream is mode-independent.
+        if mesh.has_tables:
+            self._mesh_lat = mesh._lat
+            self._mesh_trav = mesh._trav
+            # Per-(src, dst) flit counts; expanded to per-router
+            # traversals lazily by the router_flits property (hotspot
+            # analysis is post-run, so the hot path pays one list
+            # increment, not a route walk).
+            self._pair_flits = [0] * (self._n * self._n)
+            self._fast_impl = self._send_fast
+        else:
+            self._mesh_lat = self._mesh_trav = None
+            self._pair_cost = mesh.pair_cost
+            self._pair_flits = {}
+            self._fast_impl = self._send_computed
+        self.send = self._fast_impl
 
     # ------------------------------------------------------------------
     # sanitizer attachment selects the send implementation
@@ -91,7 +113,8 @@ class Network:
     @san.setter
     def san(self, sanitizer) -> None:
         self._san = sanitizer
-        self.send = self._send_full if sanitizer is not None else self._send_fast
+        self.send = self._send_full if sanitizer is not None \
+            else self._fast_impl
 
     def register(self, node: int, handler: Callable[[Message], None]) -> None:
         """Register one callable for every message type at ``node``."""
@@ -149,10 +172,47 @@ class Network:
         heappush(sim._heap, (sim.now + self._mesh_lat[idx] + extra_delay,
                              seq, None, handler, (msg,)))
 
+    def _send_computed(self, msg: Message, extra_delay: int = 0) -> None:
+        """Table-free twin of ``_send_fast`` for large meshes.
+
+        Latency and traversals come from ``mesh.pair_cost`` (inline XY
+        arithmetic) and per-pair flits accumulate in a sparse dict, so
+        nothing here is O(N²) in memory.
+        """
+        mtype = msg.mtype
+        dst = msg.dst
+        if not 0 <= dst < self._n:
+            raise KeyError(f"no endpoint registered for node {dst}")
+        handler = self._handlers[dst * N_MESSAGE_TYPES + mtype]
+        if handler is None:
+            raise KeyError(f"no endpoint registered for node {dst}")
+        flits = self._msg_flits[mtype]
+        idx = msg.src * self._n + dst
+        lat, trav = self._pair_cost(msg.src, dst)
+        stats = self.stats
+        stats.flits_injected += flits
+        stats.flit_router_traversals += trav * flits
+        pf = self._pair_flits
+        pf[idx] = pf.get(idx, 0) + flits
+        self._msg_counts[mtype] += 1
+        self.messages_sent += 1
+        if stats.tracer is not None:
+            stats.tracer.emit(
+                "msg", self.sim.now, type=mtype.name, addr=msg.addr,
+                src=msg.src, dst=dst, req=msg.requester,
+                u=msg.u_bit, mp=msg.mp_bit)
+        sim = self.sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        sim._live += 1
+        heappush(sim._heap, (sim.now + lat + extra_delay,
+                             seq, None, handler, (msg,)))
+
     def _send_full(self, msg: Message, extra_delay: int = 0) -> None:
-        """``_send_fast`` plus the per-message sanitizer check."""
+        """The mode-selected fast send plus the per-message sanitizer
+        check."""
         self._san.check_message(msg)
-        self._send_fast(msg, extra_delay)
+        self._fast_impl(msg, extra_delay)
 
     # ``send`` is an instance attribute bound in __init__/san setter;
     # this class-level alias keeps Network.send introspectable.
@@ -169,14 +229,20 @@ class Network:
         """Per-router flit traversals (mesh order).
 
         Materialized on demand from the per-pair counts the hot path
-        accumulates; each DOR route is walked once per *pair*, not once
-        per message.
+        accumulates; each DOR route is walked once per *active pair*,
+        not once per message.
         """
         out = [0] * self._n
-        routes = self.mesh._routes
-        for idx, flits in enumerate(self._pair_flits):
+        n = self._n
+        pf = self._pair_flits
+        if isinstance(pf, dict):
+            items = pf.items()
+        else:
+            items = ((idx, flits) for idx, flits in enumerate(pf) if flits)
+        route = self.mesh.route
+        for idx, flits in items:
             if flits:
-                for router in routes[idx]:
+                for router in route(idx // n, idx % n):
                     out[router] += flits
         return out
 

@@ -47,6 +47,13 @@ GOLDEN_MAX_CYCLES = 200_000_000
 #: changes — that is what ``--update`` records).
 GOLDEN_FORMAT = 1
 
+#: The scale family: the *smoke* cells of these scenarios are pinned
+#: under a separate ``scale_digests`` section of the golden file, so
+#: the cheap default tour stays sub-second while the 256/1024-node
+#: computed-routing + pooled-directory paths get their own
+#: bit-identity contract (``repro golden --scale``).
+SCALE_SCENARIOS: Tuple[str, ...] = ("paper-256", "paper-1024")
+
 
 def golden_cells() -> List[Tuple[str, str]]:
     return [(wl, scheme) for wl in GOLDEN_WORKLOADS
@@ -80,8 +87,69 @@ def compute_golden_digests(verbose: bool = False) -> Dict[str, str]:
 
 
 # ---------------------------------------------------------------------
+# the scale section (paper-256 / paper-1024 smoke cells)
+# ---------------------------------------------------------------------
+
+def scale_cells(scenarios: Tuple[str, ...] = SCALE_SCENARIOS
+                ) -> List[Tuple[str, str, str, int]]:
+    """Every (scenario, workload-label, scheme, seed) smoke cell."""
+    from repro.scenarios.registry import get_scenario
+    cells: List[Tuple[str, str, str, int]] = []
+    for name in scenarios:
+        spec = get_scenario(name).smoke()
+        for wl in spec.workloads:
+            for scheme in spec.schemes:
+                for seed in spec.seeds:
+                    cells.append((name, wl.label, scheme, seed))
+    return cells
+
+
+def run_scale_cell(scenario: str, workload: str, scheme: str,
+                   seed: int) -> "System":
+    """One sanitized smoke run of a scale scenario cell."""
+    from repro.scenarios.registry import get_scenario
+    spec = get_scenario(scenario).smoke()
+    for wl in spec.workloads:
+        if wl.label == workload:
+            break
+    else:
+        raise KeyError(f"scenario {scenario!r} smoke has no workload "
+                       f"{workload!r}")
+    ws = wl.to_spec(spec.nodes, spec.scale, seed)
+    cfg = spec.config(scheme, seed)
+    system = System(cfg, ws.build(), scheme, sanitize=True)
+    system.run(max_cycles=spec.max_cycles)
+    return system
+
+
+def compute_scale_digests(verbose: bool = False,
+                          scenarios: Tuple[str, ...] = SCALE_SCENARIOS
+                          ) -> Dict[str, str]:
+    """Run the scale family; digests keyed
+    ``scenario/workload/scheme/s<seed>``."""
+    out: Dict[str, str] = {}
+    for scenario, workload, scheme, seed in scale_cells(scenarios):
+        system = run_scale_cell(scenario, workload, scheme, seed)
+        digest = system.stats.snapshot_digest()
+        out[f"{scenario}/{workload}/{scheme}/s{seed}"] = digest
+        if verbose:
+            print(f"  {scenario}/{workload}/{scheme}/s{seed}: "
+                  f"{digest[:16]}… "
+                  f"({system.stats.sanitizer_checks} sanitizer checks)")
+    return out
+
+
+# ---------------------------------------------------------------------
 # pinned-file I/O
 # ---------------------------------------------------------------------
+
+def _read_doc(path: Path) -> Dict[str, object]:
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        return {}
+
 
 def save_golden(digests: Dict[str, str],
                 path: Union[str, Path] = DEFAULT_GOLDEN_PATH) -> Path:
@@ -99,10 +167,48 @@ def save_golden(digests: Dict[str, str],
         },
         "digests": dict(sorted(digests.items())),
     }
+    # re-pinning the tour must not silently drop the scale section
+    old = _read_doc(path)
+    if "scale_digests" in old:
+        doc["scale_digests"] = old["scale_digests"]
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=1, sort_keys=True)
         fh.write("\n")
     return path
+
+
+def save_scale_golden(scale_digests: Dict[str, str],
+                      path: Union[str, Path] = DEFAULT_GOLDEN_PATH
+                      ) -> Path:
+    """Pin the scale section, preserving the main tour digests."""
+    path = Path(path)
+    doc = _read_doc(path)
+    if not doc:
+        raise FileNotFoundError(
+            f"{path}: pin the main tour first ('repro golden --update') "
+            f"so the scale section has a file to live in")
+    doc["scale_digests"] = dict(sorted(scale_digests.items()))
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_scale_golden(path: Union[str, Path] = DEFAULT_GOLDEN_PATH
+                      ) -> Dict[str, str]:
+    """The pinned scale digests; raises KeyError when never pinned."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("format") != GOLDEN_FORMAT:
+        raise ValueError(
+            f"{path}: golden file format {doc.get('format')!r} != "
+            f"expected {GOLDEN_FORMAT}; re-pin with 'repro golden "
+            f"--update'")
+    if "scale_digests" not in doc:
+        raise KeyError(
+            f"{path} has no scale section; pin it with "
+            f"'repro golden --scale --update'")
+    return dict(doc["scale_digests"])
 
 
 def load_golden(path: Union[str, Path] = DEFAULT_GOLDEN_PATH
@@ -188,4 +294,26 @@ def check_golden(path: Union[str, Path] = DEFAULT_GOLDEN_PATH,
     pinned = load_golden(path)
     if current is None:
         current = compute_golden_digests(verbose=verbose)
+    return compare_digests(pinned, current)
+
+
+def check_scale_golden(path: Union[str, Path] = DEFAULT_GOLDEN_PATH,
+                       verbose: bool = False,
+                       current: Optional[Dict[str, str]] = None,
+                       scenarios: Tuple[str, ...] = SCALE_SCENARIOS
+                       ) -> GoldenReport:
+    """Run the scale family and compare against its pinned section.
+
+    ``scenarios`` restricts the run (CI's scale-smoke job checks only
+    ``paper-256``); pinned cells outside the selection are ignored
+    rather than reported missing.
+    """
+    pinned = load_scale_golden(path)
+    if scenarios != SCALE_SCENARIOS:
+        prefixes = tuple(f"{name}/" for name in scenarios)
+        pinned = {cell: d for cell, d in pinned.items()
+                  if cell.startswith(prefixes)}
+    if current is None:
+        current = compute_scale_digests(verbose=verbose,
+                                        scenarios=scenarios)
     return compare_digests(pinned, current)

@@ -166,6 +166,43 @@ register_scenario(ScenarioSpec(
 ))
 
 register_scenario(ScenarioSpec(
+    name="paper-256",
+    description="The scale-out tier: Zipf counters and hotspot RMW on "
+                "a 256-node mesh — past the route-table threshold, so "
+                "the computed-routing path and the pooled directory "
+                "store carry the whole run.  Smoke digests are pinned "
+                "as the scale section of the golden suite.",
+    nodes=256,
+    workloads=(
+        WorkloadDef("zipf", kind="zipf", params={"lines": 2048}),
+        WorkloadDef("hotspot", kind="hotspot",
+                    params={"hot_lines": 16}),
+    ),
+    schemes=("baseline", "puno"),
+    scale=0.4,
+    smoke_scale=0.25,
+    smoke_workloads=1,
+    tags=("scale", "family"),
+))
+
+register_scenario(ScenarioSpec(
+    name="paper-1024",
+    description="The 1024-node stress tier (32x32 mesh): Zipf "
+                "counters with chip-wide sharer lists at 64x the "
+                "paper's node count.  PUNO is excluded — its "
+                "P-Buffer is sized one entry per node per directory, "
+                "an O(N^2) footprint this tier exists to avoid — so "
+                "the cells compare baseline against backoff.",
+    nodes=1024,
+    workloads=(WorkloadDef("zipf", kind="zipf",
+                           params={"lines": 8192}),),
+    schemes=("baseline", "backoff"),
+    scale=0.2,
+    smoke_scale=0.25,
+    tags=("scale", "family"),
+))
+
+register_scenario(ScenarioSpec(
     name="chaos-32",
     description="rw_mix on a 32-node mesh with injected message "
                 "delays and duplicate responses: PUNO's prediction "

@@ -55,6 +55,31 @@ class NetworkConfig:  # lint: disable=dataclass-slots -- pickled across sweep wo
     # First-order stand-in for VC/queueing contention inside Garnet:
     # every hop costs an extra ``load_factor`` cycles.
     load_factor: int = 0
+    # Topology selection for the scale-out path: "mesh" is the flat
+    # Table II DOR mesh; "hier" tiles the node grid into
+    # cluster_width x cluster_height sub-meshes joined by an express
+    # cluster-level mesh (see repro.network.topology.ClusterMesh).
+    topology: str = "mesh"
+    cluster_width: int = 0
+    cluster_height: int = 0
+    # Link latency of one express inter-cluster hop (each such hop
+    # also pays one router_latency pipeline).
+    cluster_link_latency: int = 8
+
+    def __post_init__(self) -> None:
+        if self.topology not in ("mesh", "hier"):
+            raise ValueError(f"unknown topology {self.topology!r}; "
+                             f"choices: mesh, hier")
+        if self.topology == "hier":
+            if self.cluster_width <= 0 or self.cluster_height <= 0:
+                raise ValueError("hier topology needs positive "
+                                 "cluster_width/cluster_height")
+            if (self.mesh_width % self.cluster_width
+                    or self.mesh_height % self.cluster_height):
+                raise ValueError(
+                    f"cluster {self.cluster_width}x{self.cluster_height} "
+                    f"does not tile mesh "
+                    f"{self.mesh_width}x{self.mesh_height}")
 
     @property
     def num_nodes(self) -> int:

@@ -18,7 +18,6 @@ Everything is plain counters/histograms so post-processing stays in
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
 from repro.network.message import MSG_TYPE_NAMES, N_MESSAGE_TYPES
@@ -78,28 +77,72 @@ class Histogram:
         return f"Histogram(n={self.total}, mean={self.mean():.2f})"
 
 
-@dataclass(slots=True)
-class NodeStats:
-    """Per-node transaction accounting.
+#: Integer per-node counters, in historical NodeStats field order.
+#: Each has a ``_ns_<name>`` flat array on Stats (index = node id).
+NODE_INT_FIELDS = (
+    "tx_started", "tx_attempts", "tx_committed", "tx_aborted",
+    "good_cycles", "discarded_cycles", "backoff_cycles", "stall_cycles",
+    "nacks_received", "nacks_sent",
+)
 
-    ``slots=True``: nodes bump these counters from the hot path, and a
-    run carries one instance per node — no per-instance ``__dict__``
-    needed.  Non-frozen, so pickling back from sweep workers works on
-    every supported interpreter.
+
+def _node_int_property(name: str):
+    arr = f"_ns_{name}"
+
+    def _get(self) -> int:
+        return getattr(self._stats, arr)[self.node]
+
+    def _set(self, value: int) -> None:
+        getattr(self._stats, arr)[self.node] = value
+
+    _get.__name__ = name
+    return property(_get, _set, doc=f"Write-through view of "
+                                    f"``Stats.{arr}[node]``.")
+
+
+class NodeStats:
+    """Per-node transaction accounting — a write-through *view*.
+
+    The counters themselves live in flat per-field arrays on
+    :class:`Stats` (``_ns_tx_started[node]`` and friends): the hot path
+    bumps a list element, aggregates are C-level ``sum()`` over one
+    array instead of an attribute walk over N objects, and a
+    1024-node run carries eleven lists instead of 1024 stat objects.
+    This class is the per-node accessor the analysis code and tests
+    keep using — each attribute reads/writes the backing array, so
+    ``stats.nodes[i].tx_committed += 1`` still works and is visible to
+    every other reader.  Views are created lazily (see
+    ``Stats.nodes``) and excluded from pickles (rebuilt from the
+    arrays on unpickle).
     """
 
-    node: int
-    tx_started: int = 0  # dynamic instances begun (first begin only)
-    tx_attempts: int = 0  # begins including re-executions
-    tx_committed: int = 0
-    tx_aborted: int = 0
-    good_cycles: int = 0  # cycles inside attempts that committed
-    discarded_cycles: int = 0  # cycles inside attempts that aborted
-    backoff_cycles: int = 0
-    stall_cycles: int = 0  # waiting on nacked requests
-    nacks_received: int = 0
-    nacks_sent: int = 0
-    aborts_by_cause: Counter = field(default_factory=Counter)
+    __slots__ = ("_stats", "node")
+
+    def __init__(self, stats: "Stats", node: int):
+        self._stats = stats
+        self.node = node
+
+    tx_started = _node_int_property("tx_started")
+    tx_attempts = _node_int_property("tx_attempts")
+    tx_committed = _node_int_property("tx_committed")
+    tx_aborted = _node_int_property("tx_aborted")
+    good_cycles = _node_int_property("good_cycles")
+    discarded_cycles = _node_int_property("discarded_cycles")
+    backoff_cycles = _node_int_property("backoff_cycles")
+    stall_cycles = _node_int_property("stall_cycles")
+    nacks_received = _node_int_property("nacks_received")
+    nacks_sent = _node_int_property("nacks_sent")
+
+    @property
+    def aborts_by_cause(self) -> Counter:
+        """The node's live cause Counter (shared with the backing
+        array, so mutation through the view sticks)."""
+        return self._stats._ns_aborts_by_cause[self.node]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"NodeStats(node={self.node}, "
+                f"committed={self.tx_committed}, "
+                f"aborted={self.tx_aborted})")
 
 
 class Stats:
@@ -107,7 +150,14 @@ class Stats:
 
     def __init__(self, num_nodes: int):
         self.num_nodes = num_nodes
-        self.nodes: List[NodeStats] = [NodeStats(i) for i in range(num_nodes)]
+        # --- per-node SoA accumulators -------------------------------
+        # One flat array per counter (index = node id); NodeStats views
+        # over them are built lazily by the ``nodes`` property.
+        for _f in NODE_INT_FIELDS:
+            setattr(self, f"_ns_{_f}", [0] * num_nodes)
+        self._ns_aborts_by_cause: List[Counter] = \
+            [Counter() for _ in range(num_nodes)]
+        self._node_views: Optional[List[NodeStats]] = None
         # Optional repro.sim.trace.Tracer; components emit through this
         # when set (one attribute check per hook when tracing is off).
         self.tracer = None
@@ -224,15 +274,59 @@ class Stats:
                                       DECLINE_REASONS)
 
     # ------------------------------------------------------------------
+    # per-node views
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List["NodeStats"]:
+        """Per-node :class:`NodeStats` views, built lazily and cached.
+
+        Views are cheap (two slots each), but a 1024-node event path
+        never needs them — nodes bump the ``_ns_*`` arrays directly —
+        so nothing materializes until an analysis/test reads through
+        here.
+        """
+        views = self._node_views
+        if views is None:
+            views = self._node_views = [NodeStats(self, i)
+                                        for i in range(self.num_nodes)]
+        return views
+
+    def _fold_node_stats(self) -> List[Dict[str, object]]:
+        """Snapshot encoding of the per-node arrays.
+
+        Emits the exact per-node dicts the pre-SoA NodeStats dataclass
+        walk produced (same keys, Counter -> plain dict), keeping the
+        canonical digest stable across the layout change.
+        """
+        arrays = [getattr(self, f"_ns_{f}") for f in NODE_INT_FIELDS]
+        causes = self._ns_aborts_by_cause
+        out: List[Dict[str, object]] = []
+        for i in range(self.num_nodes):
+            d: Dict[str, object] = {"node": i}
+            for name, arr in zip(NODE_INT_FIELDS, arrays):
+                d[name] = arr[i]
+            d["aborts_by_cause"] = dict(causes[i])
+            out.append(d)
+        return out
+
+    # ------------------------------------------------------------------
     # pickle compatibility
     # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Drop the cached node views: they are self-referential and
+        trivially rebuilt from the ``_ns_*`` arrays on first access."""
+        state = dict(self.__dict__)
+        state["_node_views"] = None
+        return state
+
     def __setstate__(self, state: Dict[str, object]) -> None:
         """Accept pickles from before the SoA accumulators.
 
         Cached RunResults (the content-addressed result cache) carry
         Stats pickled with ``messages_by_type``/``dir_requests`` as
         instance Counters; migrate them into the arrays so they don't
-        shadow the fold-on-read properties.
+        shadow the fold-on-read properties.  A pickled ``nodes`` list
+        (pre node-SoA) is likewise migrated into the per-field arrays.
         """
         for legacy, soa, names in (
                 ("messages_by_type", "_msg_counts", MSG_TYPE_NAMES),
@@ -245,34 +339,44 @@ class Stats:
                 for name, n in counter.items():
                     counts[names.index(name)] = n
                 state[soa] = counts
+        legacy_nodes = state.pop("nodes", None)
+        state.setdefault("_node_views", None)
         self.__dict__.update(state)
+        if legacy_nodes is not None and "_ns_tx_started" not in state:
+            n = len(legacy_nodes)
+            for f in NODE_INT_FIELDS:
+                setattr(self, f"_ns_{f}",
+                        [getattr(ns, f) for ns in legacy_nodes])
+            self._ns_aborts_by_cause = [Counter(ns.aborts_by_cause)
+                                        for ns in legacy_nodes]
+            self.num_nodes = n
 
     # ------------------------------------------------------------------
     # aggregate helpers
     # ------------------------------------------------------------------
     @property
     def tx_started(self) -> int:
-        return sum(n.tx_started for n in self.nodes)
+        return sum(self._ns_tx_started)
 
     @property
     def tx_committed(self) -> int:
-        return sum(n.tx_committed for n in self.nodes)
+        return sum(self._ns_tx_committed)
 
     @property
     def tx_aborted(self) -> int:
-        return sum(n.tx_aborted for n in self.nodes)
+        return sum(self._ns_tx_aborted)
 
     @property
     def tx_attempts(self) -> int:
-        return sum(n.tx_attempts for n in self.nodes)
+        return sum(self._ns_tx_attempts)
 
     @property
     def good_cycles(self) -> int:
-        return sum(n.good_cycles for n in self.nodes)
+        return sum(self._ns_good_cycles)
 
     @property
     def discarded_cycles(self) -> int:
-        return sum(n.discarded_cycles for n in self.nodes)
+        return sum(self._ns_discarded_cycles)
 
     def abort_rate(self) -> float:
         """Aborted fraction of transaction attempts (Table I metric)."""
@@ -310,23 +414,16 @@ class Stats:
         out: Dict[str, object] = {}
         # The SoA accumulators fold back to their historical str-keyed
         # names here — the snapshot (and so the digest) is identical to
-        # the pre-SoA encoding.
+        # the pre-SoA encoding.  Per-node arrays fold the same way:
+        # this is the only place 1024 per-node dicts ever materialize.
         out["messages_by_type"] = dict(self.messages_by_type)
         out["dir_requests"] = dict(self.dir_requests)
         out["puno_declines"] = dict(self.puno_declines)
+        out["nodes"] = self._fold_node_stats()
         for name, value in vars(self).items():
             if name == "tracer" or name.startswith("_"):
                 continue
-            if name == "nodes":
-                # NodeStats is a slots dataclass (no __dict__): walk
-                # its declared fields instead of vars().
-                out[name] = [
-                    {f.name: (dict(v) if isinstance(v := getattr(n, f.name),
-                                                    Counter) else v)
-                     for f in fields(n)}
-                    for n in value
-                ]
-            elif isinstance(value, Counter):
+            if isinstance(value, Counter):
                 out[name] = dict(value)
             elif isinstance(value, Histogram):
                 out[name] = dict(value.counts)

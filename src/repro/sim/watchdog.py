@@ -140,7 +140,9 @@ class Watchdog:
 
     # ------------------------------------------------------------------
     def _nacks_total(self) -> int:
-        return sum(n.nacks_received for n in self.system.stats.nodes)
+        # C-level sum over the per-node SoA array — no view-object walk
+        # on the periodic tick.
+        return sum(self.system.stats._ns_nacks_received)
 
     def _tick(self) -> None:
         self.ticks += 1

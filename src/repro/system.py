@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 from repro.coherence.directory import DirectoryController
+from repro.coherence.dirstore import DirEntryPool
 from repro.coherence.states import DirState, L1State
 from repro.core.bitset import bit_list, mask_of
 from repro.core.puno import DirectoryPUNO
@@ -29,7 +30,7 @@ from repro.htm.contention.puno_cm import PUNOBackoff
 from repro.htm.node import NodeController
 from repro.network.message import Message, MessageType
 from repro.network.network import Network
-from repro.network.topology import Mesh
+from repro.network.topology import build_topology
 from repro.sanitize import sanitize_enabled
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Simulator
@@ -80,12 +81,16 @@ class System:
         self.sampler = sampler  # Optional[TimeSeriesSampler]
         if sampler is not None:
             sampler.attach(self.sim, self.stats)
-        self.mesh = Mesh(config.network)
+        self.mesh = build_topology(config.network)
         self.network = Network(self.sim, self.mesh, self.stats)
         self.rng = RngFactory(config.seed)
 
         self.cm = self._make_cm(cm)
         self.cm.sim = self.sim
+        # One DirEntry free list for the whole system: entries retired
+        # at any home bank are reused by every other (zero-alloc steady
+        # state; see repro.coherence.dirstore).
+        self.dir_pool = DirEntryPool()
         self.punos: List[Optional[DirectoryPUNO]] = []
         self.directories: List[DirectoryController] = []
         self.nodes: List[NodeController] = []
@@ -106,7 +111,8 @@ class System:
                                      config.puno, self.stats)
             self.punos.append(puno)
             directory = DirectoryController(self.sim, n, config,
-                                            self.network, self.stats, puno)
+                                            self.network, self.stats, puno,
+                                            pool=self.dir_pool)
             self.directories.append(directory)
             node = node_cls(
                 self.sim, n, config, self.network, self.stats, self.cm,

@@ -1,0 +1,131 @@
+"""Wide-mask bitset properties (hypothesis) at 65/256/1024 bits.
+
+The iteration helpers in :mod:`repro.core.bitset` switch from the
+``mask & -mask`` isolate loop to a chunked 64-bit-word scan once a mask
+outgrows one machine word.  These tests pin the contract that the
+switch is unobservable: at widths that straddle the chunk boundary
+(65), match a supported mesh (256), and stress multi-digit big-ints
+(1024), both paths must agree with each other and with the reference
+``sorted(set)`` model — same members, same ascending order, same
+popcount — including the edge masks (empty, single bit at either end,
+all-ones, alternating words).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitset import (
+    _WORD_BITS,
+    _WORD_MASK,
+    bit_list,
+    bit_tuple,
+    iter_bits,
+    mask_of,
+    popcount,
+)
+
+WIDTHS = (65, 256, 1024)
+
+
+def naive_bits(mask: int):
+    """The trivially-correct reference: probe every bit position."""
+    return [i for i in range(mask.bit_length()) if (mask >> i) & 1]
+
+
+def width_masks(width: int):
+    """Random masks of exactly ``width`` candidate bit positions."""
+    return st.integers(0, (1 << width) - 1)
+
+
+# ---------------------------------------------------------------------
+# random masks per width
+# ---------------------------------------------------------------------
+
+@settings(max_examples=60)
+@given(st.sampled_from(WIDTHS).flatmap(width_masks))
+def test_iteration_matches_naive_probe(mask):
+    expected = naive_bits(mask)
+    assert bit_list(mask) == expected
+    assert list(iter_bits(mask)) == expected
+    assert bit_tuple(mask) == tuple(expected)
+
+
+@settings(max_examples=60)
+@given(st.sampled_from(WIDTHS).flatmap(width_masks))
+def test_popcount_matches_member_count(mask):
+    assert popcount(mask) == len(naive_bits(mask))
+    assert popcount(mask) == mask.bit_count()
+    assert popcount(mask) == len(bit_list(mask))
+
+
+@settings(max_examples=60)
+@given(st.sampled_from(WIDTHS).flatmap(
+    lambda w: st.sets(st.integers(0, w - 1), max_size=w)))
+def test_mask_of_roundtrip_wide(nodes):
+    mask = mask_of(nodes)
+    assert bit_list(mask) == sorted(nodes)
+    assert popcount(mask) == len(nodes)
+
+
+@settings(max_examples=40)
+@given(width_masks(1024), width_masks(1024))
+def test_wide_bitwise_algebra(ma, mb):
+    a, b = set(naive_bits(ma)), set(naive_bits(mb))
+    assert bit_list(ma | mb) == sorted(a | b)
+    assert bit_list(ma & mb) == sorted(a & b)
+    assert bit_list(ma ^ mb) == sorted(a ^ b)
+    assert popcount(ma | mb) == len(a | b)
+
+
+# ---------------------------------------------------------------------
+# deterministic edges: the masks most likely to break a chunked scan
+# ---------------------------------------------------------------------
+
+def test_edge_masks_per_width():
+    for width in WIDTHS:
+        top = width - 1
+        cases = {
+            0: [],
+            1: [0],
+            1 << top: [top],
+            (1 << width) - 1: list(range(width)),
+            # exactly one bit in each 64-bit word
+            mask_of(range(0, width, _WORD_BITS)):
+                list(range(0, width, _WORD_BITS)),
+            # the last bit of every word (chunk == high bit set)
+            mask_of(range(_WORD_BITS - 1, width, _WORD_BITS)):
+                list(range(_WORD_BITS - 1, width, _WORD_BITS)),
+        }
+        for mask, expected in cases.items():
+            assert bit_list(mask) == expected, (width, mask)
+            assert list(iter_bits(mask)) == expected, (width, mask)
+            assert popcount(mask) == len(expected), (width, mask)
+
+
+def test_chunk_boundary_straddle():
+    """Bits 63 and 64 — the word-boundary pair the 65-bit width is
+    here to cover — iterate in order through both code paths."""
+    mask = (1 << 63) | (1 << 64)
+    assert mask > _WORD_MASK  # takes the chunked path
+    assert bit_list(mask) == [63, 64]
+    assert bit_list(1 << 63) == [63]  # one-word path, top bit
+    assert bit_list(_WORD_MASK) == list(range(64))
+
+
+def test_bit_count_edge_cases():
+    """int.bit_count() agreement at the exact values the wide scan
+    hands to the inner loop (full words, empty words, sign-free)."""
+    assert popcount(0) == 0
+    assert popcount(_WORD_MASK) == _WORD_BITS
+    assert popcount(_WORD_MASK << 960) == _WORD_BITS
+    alternating = mask_of(range(0, 1024, 2))
+    assert popcount(alternating) == 512
+    assert popcount((1 << 1024) - 1) == 1024
+
+
+def test_iter_bits_wide_is_lazy():
+    mask = mask_of({0, 64, 1023})
+    it = iter_bits(mask)
+    assert next(it) == 0
+    assert next(it) == 64
+    assert list(it) == [1023]

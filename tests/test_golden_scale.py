@@ -1,0 +1,151 @@
+"""The golden *scale* section: paper-256/paper-1024 smoke digests.
+
+The 256/1024-node scenarios run entirely on the computed-routing and
+pooled-directory paths, so their sanitized smoke digests are the
+bit-identity contract for the scale-out machinery the same way the
+STAMP tour pins the 16-node protocol.  The full family (~20 s) runs in
+CI's scale-smoke job via ``repro golden --scale``; the tests here keep
+every pytest invocation cheap by re-running only the cheapest cell and
+checking the rest structurally.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.golden import (
+    GOLDEN_FORMAT,
+    SCALE_SCENARIOS,
+    check_scale_golden,
+    load_scale_golden,
+    run_scale_cell,
+    save_golden,
+    save_scale_golden,
+    scale_cells,
+)
+from repro.scenarios.registry import get_scenario
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "golden.json"
+
+
+# ---------------------------------------------------------------------
+# scenario definitions
+# ---------------------------------------------------------------------
+
+def test_scale_scenarios_registered_and_valid():
+    for name in SCALE_SCENARIOS:
+        spec = get_scenario(name)
+        assert spec.validate() == []
+        assert "scale" in spec.tags
+
+
+def test_paper_256_shape():
+    spec = get_scenario("paper-256")
+    assert spec.nodes == 256
+    assert set(spec.schemes) == {"baseline", "puno"}
+    smoke = spec.smoke()
+    # smoke keeps one workload so the CI cell count stays bounded
+    assert len(smoke.workloads) == 1
+    assert smoke.scale < spec.scale
+
+
+def test_paper_1024_excludes_puno():
+    """The 1024 tier exists to avoid the O(N^2) P-Buffer footprint, so
+    no scheme may require a PUNO-enabled config."""
+    from repro.scenarios.spec import KNOWN_SCHEMES
+
+    spec = get_scenario("paper-1024")
+    assert spec.nodes == 1024
+    assert all(not KNOWN_SCHEMES[s] for s in spec.schemes)
+
+
+def test_scale_meshes_use_computed_routing():
+    """Both tiers sit past the route-table threshold — the point of
+    the family is to exercise the O(N)-memory path."""
+    from repro.network.topology import ROUTE_TABLE_MAX_NODES, build_topology
+
+    for name in SCALE_SCENARIOS:
+        spec = get_scenario(name)
+        assert spec.nodes > ROUTE_TABLE_MAX_NODES
+        cfg = spec.config(spec.schemes[0], seed=0)
+        assert not build_topology(cfg.network).has_tables
+
+
+# ---------------------------------------------------------------------
+# the pinned section
+# ---------------------------------------------------------------------
+
+def test_scale_section_is_pinned():
+    doc = json.loads(GOLDEN_PATH.read_text())
+    assert doc["format"] == GOLDEN_FORMAT
+    expected = {f"{sc}/{wl}/{scheme}/s{seed}"
+                for sc, wl, scheme, seed in scale_cells()}
+    assert set(doc["scale_digests"]) == expected
+    for digest in doc["scale_digests"].values():
+        assert len(digest) == 64
+        int(digest, 16)
+
+
+def test_cheapest_scale_cell_matches_pinned():
+    """Re-run the sub-second cell (paper-256 zipf baseline) and compare
+    its digest against the pinned section — the fast regression tooth;
+    CI's scale-smoke job covers the remaining cells."""
+    pinned = load_scale_golden(GOLDEN_PATH)
+    system = run_scale_cell("paper-256", "zipf", "baseline", 0)
+    assert system.stats.sanitizer_checks > 0
+    assert (system.stats.snapshot_digest()
+            == pinned["paper-256/zipf/baseline/s0"]), (
+        "paper-256 smoke digest drifted — scale-out behaviour changed; "
+        "if intentional, bless with 'repro golden --scale --update'")
+
+
+def test_check_scale_golden_with_injected_digests():
+    pinned = load_scale_golden(GOLDEN_PATH)
+    ok = check_scale_golden(GOLDEN_PATH, current=dict(pinned))
+    assert ok.ok and len(ok.matched) == len(pinned)
+    mutated = dict(pinned)
+    first = next(iter(mutated))
+    mutated[first] = "0" * 64
+    bad = check_scale_golden(GOLDEN_PATH, current=mutated)
+    assert not bad.ok and first in bad.mismatched
+
+
+def test_check_scale_golden_scenario_subset():
+    """Restricting to paper-256 (the CI job) ignores the 1024 cells
+    instead of reporting them missing."""
+    pinned = load_scale_golden(GOLDEN_PATH)
+    subset = {c: d for c, d in pinned.items()
+              if c.startswith("paper-256/")}
+    report = check_scale_golden(GOLDEN_PATH, current=subset,
+                                scenarios=("paper-256",))
+    assert report.ok
+    assert not report.missing
+
+
+# ---------------------------------------------------------------------
+# pinned-file I/O keeps the two sections independent
+# ---------------------------------------------------------------------
+
+def test_save_golden_preserves_scale_section(tmp_path):
+    path = tmp_path / "golden.json"
+    save_golden({"intruder/baseline": "a" * 64}, path)
+    save_scale_golden({"paper-256/zipf/baseline/s0": "b" * 64}, path)
+    # re-pinning the main tour must not drop the scale section
+    save_golden({"intruder/baseline": "c" * 64}, path)
+    doc = json.loads(path.read_text())
+    assert doc["digests"] == {"intruder/baseline": "c" * 64}
+    assert doc["scale_digests"] == {
+        "paper-256/zipf/baseline/s0": "b" * 64}
+
+
+def test_save_scale_requires_existing_file(tmp_path):
+    with pytest.raises(FileNotFoundError, match="pin the main tour"):
+        save_scale_golden({"x": "0" * 64}, tmp_path / "none.json")
+
+
+def test_load_scale_missing_section_raises(tmp_path):
+    path = tmp_path / "golden.json"
+    save_golden({"intruder/baseline": "a" * 64}, path)
+    with pytest.raises(KeyError, match="no scale section"):
+        load_scale_golden(path)

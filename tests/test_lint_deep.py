@@ -170,6 +170,64 @@ def test_str_subscript_on_soa_field_is_caught():
     assert any("_msg_counts" in v.message for v in hits)
 
 
+def test_nodes_view_access_in_event_path_is_caught():
+    """PR 8: ``stats.nodes`` joined the folded views — walking the
+    per-node view objects inside a handler is flagged, while the
+    construction-time binding in __init__ stays sanctioned."""
+    src = _source("htm/node.py")
+    assert "stats.nodes[node]" in src  # the sanctioned __init__ binding
+    mutated = src.replace(
+        HANDLER_DEF,
+        HANDLER_DEF
+        + '        _ = self.stats.nodes[self.node].tx_started\n', 1)
+    found = run_deep_analysis(overrides={"htm/node.py": mutated})
+    hits = [v for v in found if v.rule == "deep-snapshot-contract"]
+    assert any(".nodes" in v.message and "node.py" in v.path
+               for v in hits)
+    # the unmutated tree (same binding, __init__ only) stays clean
+    clean = [v for v in run_deep_analysis()
+             if v.rule == "deep-snapshot-contract"
+             and ".nodes" in v.message]
+    assert clean == []
+
+
+def test_str_subscript_on_node_soa_array_is_caught():
+    src = _source("htm/node.py")
+    mutated = src.replace(
+        HANDLER_DEF,
+        HANDLER_DEF
+        + '        self.stats._ns_tx_started["n0"] = 1\n', 1)
+    found = run_deep_analysis(overrides={"htm/node.py": mutated})
+    hits = [v for v in found if v.rule == "deep-snapshot-contract"]
+    assert any("_ns_tx_started" in v.message for v in hits)
+
+
+def test_fold_node_stats_outside_boundary_is_caught():
+    src = _source("htm/node.py")
+    mutated = src.replace(
+        HANDLER_DEF,
+        HANDLER_DEF
+        + '        _ = self.stats._fold_node_stats()\n', 1)
+    found = run_deep_analysis(overrides={"htm/node.py": mutated})
+    hits = [v for v in found if v.rule == "deep-snapshot-contract"]
+    assert any("_fold_node_stats" in v.message for v in hits)
+
+
+def test_dirstore_is_in_event_path_scope():
+    """PR 8 added coherence/dirstore.py to the event-path file scope:
+    a folded-view access seeded into its hot obtain() is flagged."""
+    src = _source("coherence/dirstore.py")
+    marker = "    def obtain(self, addr: int) -> DirEntry:\n"
+    assert marker in src
+    mutated = src.replace(
+        marker,
+        marker + '        _ = self.pool.stats.messages_by_type\n', 1)
+    found = run_deep_analysis(
+        overrides={"coherence/dirstore.py": mutated})
+    hits = [v for v in found if v.rule == "deep-snapshot-contract"]
+    assert any("dirstore.py" in v.path for v in hits)
+
+
 def test_lambda_submission_is_caught():
     src = _source("analysis/parallel.py")
     mutated = (src + "\n\ndef _bad_submit(pool, spec):\n"

@@ -1,0 +1,114 @@
+"""Per-node stats SoA: the NodeStats write-through view, the flat
+accumulator arrays behind it, lazy folding into the snapshot, and
+pickle round-trips.
+
+The hot path bumps ``stats._ns_<field>[node]`` directly; ``nodes[i]``
+is a view object whose properties read and write the same arrays.
+These tests pin the equivalence (either access route sees the other's
+writes), the snapshot encoding (identical to the old per-node
+dataclass walk), and the aggregate properties that sum the arrays.
+"""
+
+import pickle
+
+from collections import Counter
+
+import pytest
+
+from repro.sim.stats import NODE_INT_FIELDS, NodeStats, Stats
+
+
+def test_view_reads_and_writes_arrays():
+    stats = Stats(4)
+    view = stats.nodes[2]
+    for field in NODE_INT_FIELDS:
+        assert getattr(view, field) == 0
+        setattr(view, field, 7)
+        assert getattr(stats, f"_ns_{field}")[2] == 7
+        getattr(stats, f"_ns_{field}")[2] = 11
+        assert getattr(view, field) == 11
+    # other nodes untouched
+    for field in NODE_INT_FIELDS:
+        assert getattr(stats.nodes[1], field) == 0
+
+
+def test_view_aborts_by_cause_is_live_counter():
+    stats = Stats(2)
+    view = stats.nodes[0]
+    stats._ns_aborts_by_cause[0]["conflict"] += 2
+    assert view.aborts_by_cause["conflict"] == 2
+    view.aborts_by_cause["capacity"] += 1
+    assert stats._ns_aborts_by_cause[0]["capacity"] == 1
+    assert isinstance(view.aborts_by_cause, Counter)
+
+
+def test_views_are_cached_and_lazy():
+    stats = Stats(3)
+    assert stats._node_views is None  # nothing built yet
+    views = stats.nodes
+    assert stats.nodes is views  # cached
+    assert [v.node for v in views] == [0, 1, 2]
+    assert all(isinstance(v, NodeStats) for v in views)
+
+
+def test_aggregates_sum_the_arrays():
+    stats = Stats(4)
+    for i in range(4):
+        stats._ns_tx_committed[i] = i + 1
+        stats._ns_tx_aborted[i] = i
+        stats._ns_nacks_received[i] = 10 * i
+    assert stats.tx_committed == 10
+    assert stats.tx_aborted == 6
+    # the watchdog's livelock probe sums this array directly
+    assert sum(stats._ns_nacks_received) == 60
+
+
+def test_snapshot_fold_encoding():
+    """The folded per-node block keeps the exact pre-SoA key set, so
+    snapshot digests are representation-independent."""
+    stats = Stats(2)
+    stats.nodes[1].tx_started = 3
+    stats.nodes[1].aborts_by_cause["conflict"] += 1
+    snap = stats.snapshot()
+    nodes = snap["nodes"]
+    assert [n["node"] for n in nodes] == [0, 1]
+    expected_keys = {"node", "aborts_by_cause", *NODE_INT_FIELDS}
+    for n in nodes:
+        assert set(n) == expected_keys
+    assert nodes[1]["tx_started"] == 3
+    assert nodes[1]["aborts_by_cause"] == {"conflict": 1}
+    # no SoA internals leak into the snapshot
+    assert not any(k.startswith("_") for k in snap)
+
+
+def test_snapshot_digest_blind_to_representation():
+    """Two Stats populated through the two access routes (view
+    properties vs direct array bumps) digest identically."""
+    a, b = Stats(2), Stats(2)
+    a.nodes[0].tx_committed = 5
+    a.nodes[1].nacks_sent = 2
+    b._ns_tx_committed[0] = 5
+    b._ns_nacks_sent[1] = 2
+    assert a.snapshot_digest() == b.snapshot_digest()
+
+
+def test_pickle_round_trip():
+    stats = Stats(3)
+    stats.nodes[2].tx_aborted = 4
+    stats.nodes[0].aborts_by_cause["conflict"] += 2
+    stats.commits_total = getattr(stats, "commits_total", 0)  # no-op
+    blob = pickle.dumps(stats)
+    back = pickle.loads(blob)
+    assert back._node_views is None  # views rebuilt lazily, not carried
+    assert back.nodes[2].tx_aborted == 4
+    assert back.nodes[0].aborts_by_cause["conflict"] == 2
+    assert back.snapshot_digest() == stats.snapshot_digest()
+    # the revived views write through to the revived arrays
+    back.nodes[1].tx_started = 9
+    assert back._ns_tx_started[1] == 9
+
+
+def test_view_has_no_instance_dict():
+    view = Stats(1).nodes[0]
+    with pytest.raises(AttributeError):
+        view.not_a_field = 1
