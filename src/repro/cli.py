@@ -20,7 +20,11 @@ Commands:
   machinery; ``--smoke`` runs the scaled-down variant).
 * ``golden`` — run the golden-run regression tour and compare its
   canonical snapshot digests against ``tests/golden/golden.json``
-  (``--update`` re-pins after an intentional behaviour change).
+  (``--update`` re-pins after an intentional behaviour change;
+  ``--scale`` / ``--tournament`` cover the scale and scheme sections).
+* ``tournament`` — sweep every registered protocol scheme
+  (``repro.schemes``) head-to-head against PUNO on the 16-node
+  tournament matrix.
 
 ``run``/``compare``/``experiment`` accept ``--sanitize`` to enable the
 dynamic protocol sanitizer (equivalent to ``REPRO_SANITIZE=1``).
@@ -40,11 +44,14 @@ from repro.analysis import experiments as experiments_mod
 from repro.analysis.report import render_table
 from repro.core.hw_model import estimate_overhead
 from repro.sim.config import SystemConfig
+from repro.schemes import get_scheme, scheme_names
 from repro.system import run_workload
 from repro.workloads.stamp import STAMP_WORKLOADS, make_stamp_workload
 from repro.workloads.synthetic import make_synthetic_workload
 
-SCHEMES = ("baseline", "backoff", "rmw", "puno")
+#: Every registered protocol scheme (repro.schemes) — the choice set
+#: for run/compare/profile/chaos and the tournament axis.
+SCHEMES = scheme_names()
 
 EXPERIMENTS = {
     "table1": lambda a: experiments_mod.table1(a.scale, a.seed,
@@ -141,7 +148,7 @@ def _make_config(args, scheme: str) -> SystemConfig:
     if cfg is None:
         from repro.sim.config import small_config
         cfg = small_config(args.nodes, seed=args.seed)
-    if scheme == "puno":
+    if get_scheme(scheme).needs_puno:
         cfg = cfg.with_puno()
     return cfg
 
@@ -365,19 +372,69 @@ def cmd_scenario(args) -> int:
     return rc
 
 
+def cmd_tournament(args) -> int:
+    schemes = args.schemes.split(",") if args.schemes else []
+    unknown = set(schemes) - set(SCHEMES)
+    if unknown:
+        print(f"unknown scheme(s): {sorted(unknown)}", file=sys.stderr)
+        return 2
+    if schemes and "puno" not in schemes:
+        schemes.insert(0, "puno")  # the normalization base
+    _apply_cache_flag(args)
+    _apply_sanitize_flag(args)
+    _apply_resume_flag(args)
+    from repro.schemes.tournament import run_tournament
+    result = run_tournament(smoke=args.smoke, jobs=args.jobs,
+                            schemes=tuple(schemes),
+                            max_cycles=args.max_cycles,
+                            verbose=not args.json)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=1))
+    else:
+        print(result.render_text())
+        print(f"({result.cache_hits}/{len(result.results)} cells "
+              f"from cache)")
+    if args.out:
+        manifest = result.write_manifest(args.out)
+        print(f"wrote manifest to {manifest}", file=sys.stderr)
+    return 0
+
+
 def cmd_golden(args) -> int:
     from repro.scenarios.golden import (
         SCALE_SCENARIOS,
         check_golden,
         check_scale_golden,
+        check_scheme_golden,
         compute_golden_digests,
         compute_scale_digests,
+        compute_scheme_digests,
         save_golden,
         save_scale_golden,
+        save_scheme_golden,
     )
     scenarios = SCALE_SCENARIOS
     if args.scenarios:
         scenarios = tuple(s for s in args.scenarios.split(",") if s)
+    if args.tournament:
+        if args.update:
+            digests = compute_scheme_digests(verbose=not args.json)
+            path = save_scheme_golden(digests, args.file)
+            print(f"pinned {len(digests)} scheme digest(s) to {path}")
+            return 0
+        try:
+            report = check_scheme_golden(args.file,
+                                         verbose=not args.json)
+        except (FileNotFoundError, KeyError):
+            print(f"no scheme section in {args.file}; pin it with "
+                  f"'repro golden --tournament --update'",
+                  file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=1))
+        else:
+            print(report.describe())
+        return 0 if report.ok else 1
     if args.scale:
         if args.update:
             digests = compute_scale_digests(verbose=not args.json,
@@ -686,8 +743,32 @@ def build_parser() -> argparse.ArgumentParser:
     gold_p.add_argument("--scenarios", default="",
                         help="with --scale: comma-separated subset of "
                              "the scale scenarios to run (default all)")
+    gold_p.add_argument("--tournament", action="store_true",
+                        help="check (or --update pin) the scheme "
+                             "section: sanitized tournament cells of "
+                             "every registered scheme")
     gold_p.add_argument("--json", action="store_true",
                         help="print the report as JSON")
+
+    tour_p = sub.add_parser(
+        "tournament", help="sweep every registered scheme head-to-head "
+                           "against PUNO on the 16-node tournament "
+                           "matrix (x = vs puno)")
+    tour_p.add_argument("--schemes", default=None,
+                        help="comma-separated subset of "
+                             f"{','.join(SCHEMES)} (puno is always "
+                             f"included as the base)")
+    tour_p.add_argument("--smoke", action="store_true",
+                        help="run the scaled-down smoke variant")
+    tour_p.add_argument("--max-cycles", type=int, default=None,
+                        help="override the tournament cycle budget")
+    tour_p.add_argument("--out", metavar="DIR",
+                        help="write manifest.json + per-cell snapshot "
+                             "JSONs under DIR/tournament-16/")
+    tour_p.add_argument("--json", action="store_true",
+                        help="print the manifest body as JSON")
+    sanitize_opt(tour_p)
+    parallel_opts(tour_p)
 
     area_p = sub.add_parser("area", help="Table III area/power model")
     area_p.add_argument("--pbuffer", type=int, default=16)
@@ -743,6 +824,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": cmd_chaos,
         "scenario": cmd_scenario,
         "golden": cmd_golden,
+        "tournament": cmd_tournament,
     }
     return handlers[args.command](args)
 

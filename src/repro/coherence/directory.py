@@ -65,7 +65,7 @@ class DirectoryController:
 
     def __init__(self, sim: Simulator, node: int, config: SystemConfig,
                  network: Network, stats: Stats, puno=None,
-                 pool: Optional[DirEntryPool] = None):
+                 pool: Optional[DirEntryPool] = None, arbiter=None):
         self.sim = sim
         self.node = node
         self.config = config
@@ -73,6 +73,9 @@ class DirectoryController:
         self.stats = stats
         self._dir_req_counts = stats._dir_req_counts  # SoA accumulator
         self.puno = puno  # Optional[repro.core.puno.DirectoryPUNO]
+        # Scheme directory-forward policy (repro.schemes.base.DirArbiter);
+        # None keeps the plain FIFO drain in _unblock.
+        self.arbiter = arbiter
         self.san = None  # Optional[repro.sanitize.sanitizer.ProtocolSanitizer]
         # Address-interned entry storage; the pool is usually shared by
         # every bank in the system (System passes one), so retired
@@ -488,9 +491,15 @@ class DirectoryController:
         if self.puno is not None and rec.kind != "fetch":
             self.puno.after_service(entry)
         # Drain the wait queue until a service blocks the entry again
-        # (some services, e.g. PUT, complete without blocking).
+        # (some services, e.g. PUT, complete without blocking).  A
+        # scheme arbiter, when present, picks which waiter goes next;
+        # FIFO schemes keep the bare popleft.
+        arb = self.arbiter
         while entry.waitq and not entry.blocked:
-            nxt, arrived = entry.waitq.popleft()
+            if arb is None:
+                nxt, arrived = entry.waitq.popleft()
+            else:
+                nxt, arrived = arb.select(entry.waitq, self.sim.now)
             self.stats.dir_queue_wait_cycles += self.sim.now - arrived
             self._service(nxt, entry)
         # Settled back to I with nothing queued (e.g. a multicast fail

@@ -253,7 +253,11 @@ DEEP_RULE_IDS = frozenset(r.id for r in RULES if r.scope == "deep")
 # factory itself is the one legitimate `random` consumer.
 RNG_EXEMPT = ("sim/rng.py",)
 
-SIM_PATH_PREFIXES = ("coherence/", "core/", "htm/", "network/")
+# ``schemes/`` is sim-path: scheme plug-ins (contention managers,
+# directory arbiters) run inside the simulated machine, so sim-rng /
+# sim-print / sim-env apply to them exactly as to the built-in HTM.
+SIM_PATH_PREFIXES = ("coherence/", "core/", "htm/", "network/",
+                     "schemes/")
 SIM_PATH_FILES = ("sim/engine.py",)
 
 PICKLE_BOUNDARY_FILES = ("analysis/parallel.py", "sim/resultcache.py")

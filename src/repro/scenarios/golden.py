@@ -140,6 +140,52 @@ def compute_scale_digests(verbose: bool = False,
 
 
 # ---------------------------------------------------------------------
+# the scheme tournament section (every registered scheme, pinned)
+# ---------------------------------------------------------------------
+
+def scheme_cells() -> List[Tuple[str, str]]:
+    """Every (workload, scheme) tournament cell — one per registered
+    scheme per tournament workload, so newly registered schemes show
+    up as EXTRA until pinned."""
+    from repro.schemes import list_schemes
+    from repro.schemes.tournament import TOURNAMENT_WORKLOADS
+    return [(wl, s.name) for wl in TOURNAMENT_WORKLOADS
+            for s in list_schemes()]
+
+
+def run_scheme_cell(workload: str, scheme: str) -> "System":
+    """One sanitized, audited tournament cell (same envelope as the
+    main tour; PUNO enablement comes from the scheme registry)."""
+    from repro.schemes import get_scheme
+    from repro.schemes.tournament import (
+        TOURNAMENT_NODES,
+        TOURNAMENT_SCALE,
+        TOURNAMENT_SEED,
+    )
+    cfg = SystemConfig(seed=TOURNAMENT_SEED + 1)
+    if get_scheme(scheme).needs_puno:
+        cfg = cfg.with_puno()
+    wl = make_stamp_workload(workload, num_nodes=TOURNAMENT_NODES,
+                             scale=TOURNAMENT_SCALE, seed=TOURNAMENT_SEED)
+    system = System(cfg, wl, scheme, sanitize=True)
+    system.run(max_cycles=GOLDEN_MAX_CYCLES)
+    return system
+
+
+def compute_scheme_digests(verbose: bool = False) -> Dict[str, str]:
+    """Run the tournament grid; digests keyed ``workload/scheme``."""
+    out: Dict[str, str] = {}
+    for workload, scheme in scheme_cells():
+        system = run_scheme_cell(workload, scheme)
+        digest = system.stats.snapshot_digest()
+        out[f"{workload}/{scheme}"] = digest
+        if verbose:
+            print(f"  {workload}/{scheme}: {digest[:16]}… "
+                  f"({system.stats.sanitizer_checks} sanitizer checks)")
+    return out
+
+
+# ---------------------------------------------------------------------
 # pinned-file I/O
 # ---------------------------------------------------------------------
 
@@ -167,10 +213,11 @@ def save_golden(digests: Dict[str, str],
         },
         "digests": dict(sorted(digests.items())),
     }
-    # re-pinning the tour must not silently drop the scale section
+    # re-pinning the tour must not silently drop the other sections
     old = _read_doc(path)
-    if "scale_digests" in old:
-        doc["scale_digests"] = old["scale_digests"]
+    for section in ("scale_digests", "scheme_digests"):
+        if section in old:
+            doc[section] = old[section]
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=1, sort_keys=True)
         fh.write("\n")
@@ -209,6 +256,40 @@ def load_scale_golden(path: Union[str, Path] = DEFAULT_GOLDEN_PATH
             f"{path} has no scale section; pin it with "
             f"'repro golden --scale --update'")
     return dict(doc["scale_digests"])
+
+
+def save_scheme_golden(scheme_digests: Dict[str, str],
+                       path: Union[str, Path] = DEFAULT_GOLDEN_PATH
+                       ) -> Path:
+    """Pin the tournament section, preserving every other section."""
+    path = Path(path)
+    doc = _read_doc(path)
+    if not doc:
+        raise FileNotFoundError(
+            f"{path}: pin the main tour first ('repro golden --update') "
+            f"so the scheme section has a file to live in")
+    doc["scheme_digests"] = dict(sorted(scheme_digests.items()))
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_scheme_golden(path: Union[str, Path] = DEFAULT_GOLDEN_PATH
+                       ) -> Dict[str, str]:
+    """The pinned tournament digests; KeyError when never pinned."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("format") != GOLDEN_FORMAT:
+        raise ValueError(
+            f"{path}: golden file format {doc.get('format')!r} != "
+            f"expected {GOLDEN_FORMAT}; re-pin with 'repro golden "
+            f"--update'")
+    if "scheme_digests" not in doc:
+        raise KeyError(
+            f"{path} has no scheme section; pin it with "
+            f"'repro golden --tournament --update'")
+    return dict(doc["scheme_digests"])
 
 
 def load_golden(path: Union[str, Path] = DEFAULT_GOLDEN_PATH
@@ -294,6 +375,23 @@ def check_golden(path: Union[str, Path] = DEFAULT_GOLDEN_PATH,
     pinned = load_golden(path)
     if current is None:
         current = compute_golden_digests(verbose=verbose)
+    return compare_digests(pinned, current)
+
+
+def check_scheme_golden(path: Union[str, Path] = DEFAULT_GOLDEN_PATH,
+                        verbose: bool = False,
+                        current: Optional[Dict[str, str]] = None
+                        ) -> GoldenReport:
+    """Run the tournament grid and compare against its pinned section.
+
+    ``current`` lets tests inject precomputed (or deliberately
+    mutated) digests instead of re-running the grid; a registered
+    scheme with no pinned cell reports as EXTRA, a pinned cell whose
+    scheme was unregistered as MISSING.
+    """
+    pinned = load_scheme_golden(path)
+    if current is None:
+        current = compute_scheme_digests(verbose=verbose)
     return compare_digests(pinned, current)
 
 

@@ -202,6 +202,14 @@ register_scenario(ScenarioSpec(
     tags=("scale", "family"),
 ))
 
+# The scheme tournament: every registered scheme head-to-head against
+# PUNO at the golden-tour envelope (see repro.schemes.tournament; the
+# import is placed here, after ScenarioSpec machinery is loaded, since
+# tournament_spec builds on repro.scenarios.spec).
+from repro.schemes.tournament import tournament_spec  # noqa: E402
+
+register_scenario(tournament_spec())
+
 register_scenario(ScenarioSpec(
     name="chaos-32",
     description="rw_mix on a 32-node mesh with injected message "

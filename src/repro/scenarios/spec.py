@@ -35,15 +35,11 @@ from repro.sim.config import (
     scaled_config,
 )
 
-#: Scheme name -> needs a PUNO-enabled configuration.
-KNOWN_SCHEMES = {
-    "baseline": False,
-    "backoff": False,
-    "rmw": False,
-    "puno": True,
-    "ats": False,
-    "ats+puno": True,
-}
+#: Scheme name -> needs a PUNO-enabled configuration.  A live view of
+#: the scheme plug-in registry (repro.schemes), so scenario validation
+#: and per-cell config construction automatically track every
+#: registered scheme — built-ins and downstream plug-ins alike.
+from repro.schemes import NEEDS_PUNO as KNOWN_SCHEMES
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,114 @@
+"""Adaptive randomized requeue/abort backoff (arXiv 1804.00947).
+
+The Transactional Conflict Problem analysis shows that when conflict
+density is high, *immediately* requeueing an aborted transaction is
+pessimal — the transaction rejoins the same conflict cluster and pays
+another abort — while a randomized delay whose window tracks the
+observed conflict intensity approaches the competitive-optimal
+schedule.  This contention manager implements that policy:
+
+* every abort re-enters execution after a randomized delay drawn from
+  an exponentially-growing window (classic randomized backoff on the
+  consecutive-abort count), *scaled* by a per-node conflict-intensity
+  estimate so nodes in hot clusters spread out further than nodes that
+  aborted once by bad luck;
+* the intensity estimate is an integer EWMA of abort outcomes in
+  fixed-point 1/256ths (abort: ``i <- i/2 + 128``; commit:
+  ``i <- i/2``), so the window scale stays in ``[1x, 2x)`` and all
+  arithmetic stays integral (cycle counts are heap keys — no floats);
+* nacked transactional requests also jitter their retry poll by one
+  slot, de-synchronizing pollers that would otherwise re-collide in
+  lockstep.
+
+All draws come from the scheme's seeded ``cm:adaptive-requeue`` RNG
+stream, so identical seeds give identical requeue schedules (a pinned
+Hypothesis property, and the determinism the conformance suite's
+replay check enforces).
+
+Bounds (all from :class:`~repro.sim.config.HTMConfig`):
+``requeue_slot`` is the base window, ``requeue_cap`` caps the
+exponential growth, ``requeue_max`` clamps the final window.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.htm.contention.base import ContentionManager
+from repro.schemes.base import Scheme
+from repro.schemes.registry import register_scheme
+from repro.sim.config import SystemConfig
+from repro.sim.stats import Stats
+
+#: Fixed-point scale of the conflict-intensity EWMA.
+INTENSITY_ONE = 256
+#: Post-abort EWMA contribution of one abort (= 0.5 in fixed point).
+INTENSITY_STEP = INTENSITY_ONE // 2
+
+
+class AdaptiveRequeue(ContentionManager):
+    """Randomized exponential requeue adapted to conflict intensity."""
+
+    name = "adaptive-requeue"
+
+    def __init__(self, config: SystemConfig, stats: Stats,
+                 rng: Optional[random.Random] = None):
+        super().__init__(config, stats, rng)
+        htm = config.htm
+        self.slot = htm.requeue_slot
+        self.cap = htm.requeue_cap
+        self.max_window = htm.requeue_max
+        # Per-node conflict-intensity EWMA in 1/256ths, in [0, 256).
+        # Scheme-local counters live on the CM (never on Stats, whose
+        # snapshot covers every public field and seals the digests).
+        self._intensity = [0] * config.num_nodes
+        self.requeues = 0
+        self.nack_jitters = 0
+
+    # --- intensity tracking ------------------------------------------
+    def on_commit(self, node: int, length: int = 0) -> None:
+        self._intensity[node] >>= 1
+
+    def on_abort(self, node: int) -> None:
+        self._intensity[node] = ((self._intensity[node] >> 1)
+                                 + INTENSITY_STEP)
+
+    def intensity(self, node: int) -> int:
+        """The node's current estimate in 1/256ths (test hook)."""
+        return self._intensity[node]
+
+    # --- backoff decisions -------------------------------------------
+    def requeue_window(self, node: int, consecutive_aborts: int) -> int:
+        """The randomized-delay window for this restart, in cycles."""
+        exp = min(max(consecutive_aborts, 1), self.cap)
+        window = self.slot << (exp - 1)
+        window += (window * self._intensity[node]) >> 8
+        return min(window, self.max_window)
+
+    def restart_backoff(self, node: int, consecutive_aborts: int) -> int:
+        self.requeues += 1
+        return self.rng.randint(0, self.requeue_window(
+            node, consecutive_aborts))
+
+    def nack_backoff(self, node: int, retries: int, t_est: int,
+                     is_tx: bool) -> int:
+        base = self.config.htm.nack_backoff
+        if not is_tx:
+            return base
+        self.nack_jitters += 1
+        return base + self.rng.randint(0, self.slot - 1)
+
+
+def cm_adaptive_requeue(config, stats, rng, avg_c2c=0):
+    return AdaptiveRequeue(config, stats, rng)
+
+
+register_scheme(Scheme(
+    name="adaptive-requeue",
+    description="Randomized exponential requeue after aborts, window "
+                "scaled by a per-node conflict-intensity EWMA; nacked "
+                "pollers jitter by one slot",
+    citation="arXiv:1804.00947",
+    cm_factory=cm_adaptive_requeue,
+))

@@ -142,6 +142,12 @@ class HTMConfig:  # lint: disable=dataclass-slots -- pickled across sweep worker
     random_backoff_cap: int = 10
     # RMW predictor comparator: entries per node.
     rmw_entries: int = 256
+    # Adaptive-requeue comparator (repro.schemes.adaptive_requeue):
+    # base randomized-delay window, exponential-growth cap, and a hard
+    # clamp on the final window.
+    requeue_slot: int = 32
+    requeue_cap: int = 8
+    requeue_max: int = 4096
     # Give up and abort a transaction after this many consecutive nacked
     # retries of one request (livelock escape hatch; generous).
     max_retries: int = 10_000

@@ -24,14 +24,13 @@ from repro.coherence.states import DirState, L1State
 from repro.core.bitset import bit_list, mask_of
 from repro.core.puno import DirectoryPUNO
 from repro.core.txlb import TxLB
-from repro.htm.contention import CM_REGISTRY
 from repro.htm.contention.base import ContentionManager
-from repro.htm.contention.puno_cm import PUNOBackoff
 from repro.htm.node import NodeController
 from repro.network.message import Message, MessageType
 from repro.network.network import Network
 from repro.network.topology import build_topology
 from repro.sanitize import sanitize_enabled
+from repro.schemes import Scheme, get_scheme
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngFactory
@@ -85,6 +84,14 @@ class System:
         self.network = Network(self.sim, self.mesh, self.stats)
         self.rng = RngFactory(config.seed)
 
+        # Resolve the scheme plug-in (repro.schemes): a string selects
+        # a registered Scheme, which supplies all three policy axes —
+        # contention manager, directory forward policy, and (unless the
+        # caller passes an explicit node_cls) version management.
+        self.scheme: Optional[Scheme] = (get_scheme(cm)
+                                         if isinstance(cm, str) else None)
+        self.dir_arbiter = (self.scheme.make_arbiter(config)
+                            if self.scheme is not None else None)
         self.cm = self._make_cm(cm)
         self.cm.sim = self.sim
         # One DirEntry free list for the whole system: entries retired
@@ -97,6 +104,8 @@ class System:
         self._done_count = 0
         self._finished_at: Optional[int] = None
 
+        if node_cls is None and self.scheme is not None:
+            node_cls = self.scheme.resolve_node_cls()
         node_cls = node_cls or NodeController
         node_extra = {}
         if node_cls is not NodeController:
@@ -112,7 +121,8 @@ class System:
             self.punos.append(puno)
             directory = DirectoryController(self.sim, n, config,
                                             self.network, self.stats, puno,
-                                            pool=self.dir_pool)
+                                            pool=self.dir_pool,
+                                            arbiter=self.dir_arbiter)
             self.directories.append(directory)
             node = node_cls(
                 self.sim, n, config, self.network, self.stats, self.cm,
@@ -153,22 +163,12 @@ class System:
     def _make_cm(self, cm: Union[str, ContentionManager]) -> ContentionManager:
         if isinstance(cm, ContentionManager):
             return cm
-        rng = RngFactory(self.config.seed).stream(f"cm:{cm}")
-        if cm == "ats+puno":
-            # the paper argues proactive scheduling is complementary to
-            # PUNO; this composition lets benches test that claim
-            from repro.htm.contention.ats import ATSScheduler
-            inner = PUNOBackoff(self.config, self.stats, rng,
-                                avg_c2c=self.mesh.avg_latency)
-            return ATSScheduler(self.config, self.stats, rng, inner=inner)
-        cls = CM_REGISTRY.get(cm)
-        if cls is None:
-            raise KeyError(f"unknown contention manager {cm!r}; "
-                           f"choices: {sorted(CM_REGISTRY) + ['ats+puno']}")
-        if cls is PUNOBackoff:
-            return cls(self.config, self.stats, rng,
-                       avg_c2c=self.mesh.avg_latency)
-        return cls(self.config, self.stats, rng)
+        # String names resolve through the scheme registry; the Scheme
+        # preserves the historical cm:<name> RNG stream naming and the
+        # avg_c2c plumbing, so registered built-ins are bit-identical
+        # to the pre-plug-in construction.
+        return self.scheme.make_cm(self.config, self.stats,
+                                   avg_c2c=self.mesh.avg_latency)
 
     @staticmethod
     def _make_endpoint(directory: DirectoryController,

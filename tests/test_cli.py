@@ -286,3 +286,64 @@ def test_golden_update_then_check(tmp_path, capsys):
     out = capsys.readouterr().out
     doc = json.loads(out[out.index("{"):])
     assert doc["ok"] is True and len(doc["matched"]) == 8
+
+
+# ---------------------------------------------------------------------
+# tournament subcommand + golden --tournament
+# ---------------------------------------------------------------------
+
+def test_tournament_smoke_table(monkeypatch, capsys):
+    _guard_checkpoint_env(monkeypatch)
+    rc = main(["tournament", "--smoke", "--no-cache",
+               "--schemes", "baseline"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    # puno is forced in as the normalization base
+    assert "puno" in out and "baseline" in out
+
+
+def test_tournament_json_payload(monkeypatch, capsys):
+    _guard_checkpoint_env(monkeypatch)
+    rc = main(["tournament", "--smoke", "--no-cache", "--json",
+               "--schemes", "phase-priority,adaptive-requeue"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    doc = json.loads(out[out.index("{"):])
+    assert doc["scenario"]["name"].startswith("tournament-16")
+    ran = {c["scheme"] for c in doc["cells"]}
+    assert ran == {"puno", "phase-priority", "adaptive-requeue"}
+
+
+def test_tournament_unknown_scheme_is_usage_error(capsys):
+    assert main(["tournament", "--schemes", "no-such-scheme"]) == 2
+    assert "unknown scheme" in capsys.readouterr().err
+
+
+def test_golden_tournament_check_matches_pinned(capsys):
+    from pathlib import Path
+    golden = Path(__file__).parent / "golden" / "golden.json"
+    assert main(["golden", "--tournament", "--file", str(golden)]) == 0
+    assert "cell(s) match" in capsys.readouterr().out
+
+
+def test_golden_tournament_unpinned_section_is_exit_2(tmp_path, capsys):
+    path = tmp_path / "golden.json"
+    assert main(["golden", "--update", "--file", str(path)]) == 0
+    capsys.readouterr()
+    assert main(["golden", "--tournament", "--file", str(path)]) == 2
+    assert "--tournament --update" in capsys.readouterr().err
+
+
+def test_golden_tournament_update_then_drift_is_exit_1(tmp_path, capsys):
+    path = tmp_path / "golden.json"
+    assert main(["golden", "--update", "--file", str(path)]) == 0
+    assert main(["golden", "--tournament", "--update",
+                 "--file", str(path)]) == 0
+    assert main(["golden", "--tournament", "--file", str(path)]) == 0
+    # corrupt one pinned scheme cell: the check must exit 1
+    doc = json.loads(path.read_text())
+    doc["scheme_digests"]["intruder/lazy"] = "0" * 64
+    path.write_text(json.dumps(doc))
+    capsys.readouterr()
+    assert main(["golden", "--tournament", "--file", str(path)]) == 1
+    assert "MISMATCH intruder/lazy" in capsys.readouterr().out

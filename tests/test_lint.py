@@ -330,6 +330,31 @@ def test_sim_path_scope_resolution():
     assert active_rules(None) == {r.id for r in RULES}
 
 
+def test_schemes_package_is_sim_path_scoped():
+    """Scheme plug-ins run inside the simulated machine, so the
+    sim-path rules (prints, env reads) apply to ``schemes/`` exactly
+    as they do to ``htm/``."""
+    for relpath in ("schemes/phase_priority.py",
+                    "schemes/adaptive_requeue.py",
+                    "schemes/registry.py"):
+        assert "sim-print" in active_rules(relpath), relpath
+        assert "sim-env" in active_rules(relpath), relpath
+        assert "sim-rng" in active_rules(relpath), relpath
+
+
+def test_sim_rng_fires_on_unseeded_scheme_rng():
+    """The seeded bug of the adaptive-requeue mutation meta-test, as
+    the lint rule sees it: a scheme drawing from module-level
+    ``random`` instead of its injected stream."""
+    src = ("import random\n"
+           "class MyCM:\n"
+           "    def restart_backoff(self, node, k):\n"
+           "        return random.randint(0, 32)\n")
+    violations = lint_source(src, "<fixture>",
+                             relpath="schemes/my_scheme.py")
+    assert "sim-rng" in {v.rule for v in violations}
+
+
 def test_hot_path_scope_resolution():
     for relpath in ("network/message.py", "sim/engine.py",
                     "coherence/cache.py"):
